@@ -1,0 +1,193 @@
+// Top-level benchmarks: one per table/figure of the paper plus the
+// micro-benchmarks behind the §III-E acceleration claims. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches execute at PresetTest scale so the suite finishes
+// in minutes; cmd/tables regenerates the full-scale artefacts.
+package lsopc_test
+
+import (
+	"testing"
+
+	"lsopc"
+	"lsopc/internal/experiments"
+	"lsopc/internal/litho"
+)
+
+// BenchmarkTable1 runs the complete Table I pipeline (four baselines +
+// the level-set method, optimize and evaluate) on one benchmark.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Run(experiments.Options{
+			Preset:    lsopc.PresetTest,
+			Cases:     []string{"B4"},
+			IterScale: 0.2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2PerCase measures the Table II quantity directly: one
+// level-set optimization wall time per engine.
+func BenchmarkTable2PerCase(b *testing.B) {
+	for _, eng := range []*lsopc.Engine{lsopc.CPUEngine(), lsopc.GPUEngine()} {
+		b.Run(eng.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.EngineRuntime(lsopc.PresetTest, "B4", eng, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1Measurement regenerates the Fig. 1 metric illustration
+// (corner prints, PV band, EPE probes).
+func BenchmarkFig1Measurement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1Measurement(lsopc.PresetTest, "B1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Evolution regenerates the Fig. 2 evolution snapshots.
+func BenchmarkFig2Evolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2Evolution(lsopc.PresetTest, "B4", 10, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCGvsGD runs the contribution-(ii) convergence ablation.
+func BenchmarkCGvsGD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CGvsGD(lsopc.PresetTest, "B4", 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCombinedKernel measures the Eq. 17 fused-kernel ablation.
+func BenchmarkCombinedKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CombinedKernelAblation(lsopc.PresetTest, "B4", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPVBWeightSweep runs the w_pvb trade-off ablation.
+func BenchmarkPVBWeightSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PVBWeightSweep(lsopc.PresetTest, "B4", []float64{0, 0.6}, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks behind the §III-E acceleration claims ---
+
+func newBenchPipeline(b *testing.B, eng *lsopc.Engine) *lsopc.Pipeline {
+	b.Helper()
+	pipe, err := lsopc.NewPipeline(lsopc.PresetTest, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pipe
+}
+
+// BenchmarkAerialExact measures the exact K-kernel SOCS forward pass.
+func BenchmarkAerialExact(b *testing.B) {
+	pipe := newBenchPipeline(b, lsopc.GPUEngine())
+	target, err := pipe.Target(lsopc.Benchmark("B4"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := pipe.Simulator()
+	spec := sim.MaskSpectrum(target)
+	out := &lsopc.Field{W: target.W, H: target.H, Data: make([]float64, len(target.Data))}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Aerial(out, spec, litho.Nominal)
+	}
+}
+
+// BenchmarkAerialFused measures the Eq. 17 single-convolution forward.
+func BenchmarkAerialFused(b *testing.B) {
+	pipe := newBenchPipeline(b, lsopc.GPUEngine())
+	target, err := pipe.Target(lsopc.Benchmark("B4"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := pipe.Simulator()
+	spec := sim.MaskSpectrum(target)
+	out := &lsopc.Field{W: target.W, H: target.H, Data: make([]float64, len(target.Data))}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.AerialFast(out, spec, litho.Nominal)
+	}
+}
+
+// BenchmarkGradient measures one full forward+adjoint corner evaluation,
+// the inner loop of every optimizer iteration.
+func BenchmarkGradient(b *testing.B) {
+	pipe := newBenchPipeline(b, lsopc.GPUEngine())
+	target, err := pipe.Target(lsopc.Benchmark("B4"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := pipe.Simulator()
+	spec := sim.MaskSpectrum(target)
+	n := sim.GridSize()
+	grad := &lsopc.Field{W: n, H: n, Data: make([]float64, n*n)}
+	imgs := litho.NewCornerImages(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grad.Zero()
+		sim.ForwardAndGradient(grad, spec, litho.Nominal, target, imgs, 1)
+	}
+}
+
+// BenchmarkEvaluate measures the contest metric checkers.
+func BenchmarkEvaluate(b *testing.B) {
+	pipe := newBenchPipeline(b, lsopc.GPUEngine())
+	layout := lsopc.Benchmark("B4")
+	target, err := pipe.Target(layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Evaluate(layout, target, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaskComplexity runs the §I manufacturability study.
+func BenchmarkMaskComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MaskComplexityStudy(lsopc.PresetTest, "B4", 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHybridFlow runs the rule-based / ILT / warm-started-ILT
+// comparison with MRC checking.
+func BenchmarkHybridFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HybridStudy(lsopc.PresetTest, "B4", 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command benchgen writes the synthetic ICCAD-2013-style benchmark
+// layouts (B1…B10) as GLP text files, optionally with PGM previews.
+//
+// Usage:
+//
+//	benchgen -dir bench/           # writes B1.glp … B10.glp
+//	benchgen -dir bench/ -pgm      # also writes raster previews
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lsopc/internal/gds"
+	"lsopc/internal/geom"
+	"lsopc/internal/layouts"
+	"lsopc/internal/render"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "benchmarks", "output directory")
+		pgm    = flag.Bool("pgm", false, "also write 512-px PGM previews")
+		gdsOut = flag.Bool("gds", false, "also write GDSII streams")
+	)
+	flag.Parse()
+
+	if err := run(*dir, *pgm, *gdsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, pgm, gdsOut bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range layouts.All() {
+		l, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, spec.ID+".glp")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := geom.WriteGLP(f, l); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-4s area %7d nm², %2d shapes → %s\n", spec.ID, l.Area(), l.ShapeCount(), path)
+
+		if pgm {
+			raster, err := geom.Rasterize(l, 4) // 512-px preview
+			if err != nil {
+				return err
+			}
+			pgmPath := filepath.Join(dir, spec.ID+".pgm")
+			if err := render.SavePGM(pgmPath, raster, 0, 1); err != nil {
+				return err
+			}
+		}
+		if gdsOut {
+			gf, err := os.Create(filepath.Join(dir, spec.ID+".gds"))
+			if err != nil {
+				return err
+			}
+			if err := gds.Write(gf, l); err != nil {
+				gf.Close()
+				return err
+			}
+			if err := gf.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

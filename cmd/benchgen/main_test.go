@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesAllBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, true, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"B1", "B5", "B10"} {
+		if _, err := os.Stat(filepath.Join(dir, id+".glp")); err != nil {
+			t.Errorf("%s.glp missing: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".pgm")); err != nil {
+			t.Errorf("%s.pgm missing: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".gds")); err != nil {
+			t.Errorf("%s.gds missing: %v", id, err)
+		}
+	}
+}
+
+func TestRunFailsOnUnwritableDir(t *testing.T) {
+	if err := run("/proc/definitely/not/writable", false, false); err == nil {
+		t.Fatal("unwritable dir accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Command lsopc optimizes one mask with the level-set ILT method (or a
+// baseline) and reports the ICCAD 2013 contest metrics.
+//
+// Usage:
+//
+//	lsopc -case B4 -preset fast
+//	lsopc -glp design.glp -preset fast -method MOSAIC_exact
+//	lsopc -case B1 -iters 30 -pvb-weight 0.8 -out mask.pgm -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsopc"
+	"lsopc/internal/render"
+)
+
+func main() {
+	var (
+		caseID    = flag.String("case", "B4", "benchmark id (B1…B10); ignored when -glp is set")
+		glpPath   = flag.String("glp", "", "optimize a GLP layout file instead of a benchmark")
+		presetStr = flag.String("preset", "fast", "simulation preset: test|fast|paper")
+		method    = flag.String("method", "level-set", "optimizer: level-set|MOSAIC_fast|MOSAIC_exact|robust|PVOPC")
+		iters     = flag.Int("iters", 0, "override the method's iteration budget (0 = default)")
+		pvbWeight = flag.Float64("pvb-weight", -1, "override w_pvb (negative = default)")
+		serial    = flag.Bool("serial", false, "run on the serial (CPU) engine instead of the parallel one")
+		outPath   = flag.String("out", "", "write the optimized mask as a PGM file")
+		outGLP    = flag.String("out-glp", "", "write the optimized mask geometry as a GLP file")
+		ascii     = flag.Bool("ascii", false, "print an ASCII preview of target vs printed image")
+		trace     = flag.Bool("trace", false, "print the per-iteration cost trace (level-set only)")
+	)
+	flag.Parse()
+
+	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "lsopc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool) error {
+	preset, err := lsopc.ParsePreset(presetStr)
+	if err != nil {
+		return err
+	}
+	eng := lsopc.GPUEngine()
+	if serial {
+		eng = lsopc.CPUEngine()
+	}
+	pipe, err := lsopc.NewPipeline(preset, eng)
+	if err != nil {
+		return err
+	}
+
+	layout, err := loadLayout(caseID, glpPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("layout %s: %d shapes, pattern area %d nm²\n", layout.Name, layout.ShapeCount(), layout.Area())
+	fmt.Printf("preset %s: %d px @ %g nm/px, engine %s\n", preset, pipe.GridSize(), pipe.PixelNM(), eng.Name())
+
+	var result *lsopc.RunResult
+	switch method {
+	case "level-set":
+		opts := lsopc.DefaultLevelSetOptions()
+		if iters > 0 {
+			opts.MaxIter = iters
+		}
+		if pvbWeight >= 0 {
+			opts.PVBWeight = pvbWeight
+		}
+		result, err = pipe.OptimizeLevelSet(layout, opts)
+	case "MOSAIC_fast", "MOSAIC_exact", "robust", "PVOPC":
+		opts := lsopc.DefaultBaselineOptions(parseVariant(method))
+		if iters > 0 {
+			opts.MaxIter = iters
+		}
+		if pvbWeight >= 0 {
+			opts.PVBWeight = pvbWeight
+		}
+		result, err = pipe.OptimizeBaseline(layout, opts)
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("method %s finished in %v\n", result.Method, result.Elapsed.Round(1e6))
+	fmt.Println(result.Report)
+
+	if trace && result.LevelSet != nil {
+		fmt.Println("iter  cost_total  cost_nominal  cost_pvb  max|v|  dt  lambda")
+		for _, h := range result.LevelSet.History {
+			fmt.Printf("%4d  %10.4f  %12.4f  %8.4f  %6.3g  %.3g  %.3f\n",
+				h.Iter, h.CostTotal, h.CostNominal, h.CostPVB, h.MaxVelocity, h.TimeStep, h.LambdaPRP)
+		}
+	}
+	if ascii {
+		printed, _, _ := pipe.PrintedImages(result.Mask)
+		target, err := pipe.Target(layout)
+		if err != nil {
+			return err
+		}
+		fmt.Println("printed image with target contour ('+': contour printed, 'x': contour missing, '#': printed):")
+		fmt.Print(render.ContourOverlayASCII(target, printed, 100))
+	}
+	if outPath != "" {
+		if err := render.SavePGM(outPath, result.Mask, 0, 1); err != nil {
+			return err
+		}
+		fmt.Printf("mask written to %s\n", outPath)
+	}
+	if outGLP != "" {
+		maskLayout := lsopc.MaskToLayout(layout.Name+"_mask", result.Mask, int(pipe.PixelNM()))
+		if err := lsopc.SaveGLP(outGLP, maskLayout); err != nil {
+			return err
+		}
+		fmt.Printf("mask geometry (%d rects) written to %s\n", len(maskLayout.Rects), outGLP)
+	}
+	return nil
+}
+
+func loadLayout(caseID, glpPath string) (*lsopc.Layout, error) {
+	if glpPath == "" {
+		return lsopc.BenchmarkByID(caseID)
+	}
+	return lsopc.LoadGLP(glpPath)
+}
+
+func parseVariant(s string) lsopc.BaselineVariant {
+	switch s {
+	case "MOSAIC_fast":
+		return lsopc.MosaicFast
+	case "MOSAIC_exact":
+		return lsopc.MosaicExact
+	case "robust":
+		return lsopc.RobustOPC
+	default:
+		return lsopc.PVOPC
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lsopc"
+)
+
+func TestParseVariant(t *testing.T) {
+	cases := map[string]lsopc.BaselineVariant{
+		"MOSAIC_fast":  lsopc.MosaicFast,
+		"MOSAIC_exact": lsopc.MosaicExact,
+		"robust":       lsopc.RobustOPC,
+		"PVOPC":        lsopc.PVOPC,
+	}
+	for s, want := range cases {
+		if got := parseVariant(s); got != want {
+			t.Errorf("parseVariant(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestLoadLayoutBenchmark(t *testing.T) {
+	l, err := loadLayout("B4", "")
+	if err != nil || l.Name != "B4" {
+		t.Fatalf("benchmark load: %v, %v", l, err)
+	}
+	if _, err := loadLayout("B99", ""); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestLoadLayoutGLP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.glp")
+	src := lsopc.NewLayout("x", 256, 256)
+	src.Rects = append(src.Rects, lsopc.NewRect(10, 10, 50, 50))
+	if err := lsopc.SaveGLP(path, src); err != nil {
+		t.Fatal(err)
+	}
+	l, err := loadLayout("ignored", path)
+	if err != nil || l.Area() != 1600 {
+		t.Fatalf("GLP load: %+v, %v", l, err)
+	}
+	if _, err := loadLayout("", filepath.Join(t.TempDir(), "missing.glp")); err == nil {
+		t.Fatal("missing GLP accepted")
+	}
+}

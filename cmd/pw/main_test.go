@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"lsopc"
+)
+
+func TestParseCut(t *testing.T) {
+	c, err := parseCut("10,20,h", 64)
+	if err != nil || c.X != 10 || c.Y != 20 || !c.Horizontal {
+		t.Fatalf("got %+v, %v", c, err)
+	}
+	c, err = parseCut("5,6,v", 64)
+	if err != nil || c.Horizontal {
+		t.Fatalf("vertical cut parsed wrong: %+v, %v", c, err)
+	}
+	// Default: grid centre, horizontal.
+	c, err = parseCut("", 128)
+	if err != nil || c.X != 64 || c.Y != 64 || !c.Horizontal {
+		t.Fatalf("default cut %+v, %v", c, err)
+	}
+	for _, bad := range []string{"1,2", "a,2,h", "1,b,v", "1,2,x", "1,2,3,4"} {
+		if _, err := parseCut(bad, 64); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestOrientation(t *testing.T) {
+	if orientation(lsopc.CutLine{Horizontal: true}) != "horizontal" {
+		t.Fatal("horizontal label wrong")
+	}
+	if orientation(lsopc.CutLine{}) != "vertical" {
+		t.Fatal("vertical label wrong")
+	}
+}

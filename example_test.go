@@ -1,0 +1,67 @@
+package lsopc_test
+
+import (
+	"fmt"
+	"log"
+
+	"lsopc"
+)
+
+// ExampleNewPipeline shows the minimal optimize-and-evaluate flow.
+func ExampleNewPipeline() {
+	pipe, err := lsopc.NewPipeline(lsopc.PresetTest, lsopc.GPUEngine())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := lsopc.DefaultLevelSetOptions()
+	opts.MaxIter = 5
+	run, err := pipe.OptimizeLevelSet(lsopc.Benchmark("B10"), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(run.Method, "shape violations:", run.Report.ShapeViolations)
+	// Output: level-set shape violations: 0
+}
+
+// ExamplePipeline_OptimizeBaseline runs a pixel-based comparison method.
+func ExamplePipeline_OptimizeBaseline() {
+	pipe, err := lsopc.NewPipeline(lsopc.PresetTest, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := lsopc.DefaultBaselineOptions(lsopc.MosaicFast)
+	opts.MaxIter = 6
+	run, err := pipe.OptimizeBaseline(lsopc.Benchmark("B10"), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(run.Method, "shape violations:", run.Report.ShapeViolations)
+	// Output: MOSAIC_fast shape violations: 0
+}
+
+// ExampleNewLayout builds a custom design and validates it.
+func ExampleNewLayout() {
+	l := lsopc.NewLayout("demo", 2048, 2048)
+	l.Rects = append(l.Rects, lsopc.NewRect(500, 500, 700, 1100))
+	l.Polys = append(l.Polys, lsopc.NewPolygon(
+		lsopc.Point{X: 900, Y: 500}, lsopc.Point{X: 1300, Y: 500},
+		lsopc.Point{X: 1300, Y: 580}, lsopc.Point{X: 980, Y: 580},
+		lsopc.Point{X: 980, Y: 1100}, lsopc.Point{X: 900, Y: 1100},
+	))
+	if err := l.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(l.ShapeCount(), "shapes,", l.Area(), "nm²")
+	// Output: 2 shapes, 193600 nm²
+}
+
+// ExampleBenchmarks lists the reproduction suite.
+func ExampleBenchmarks() {
+	for _, s := range lsopc.Benchmarks()[:3] {
+		fmt.Println(s.ID, s.PatternArea)
+	}
+	// Output:
+	// B1 215344
+	// B2 169280
+	// B3 213504
+}

@@ -1,0 +1,3 @@
+module lsopc
+
+go 1.22

@@ -1,0 +1,432 @@
+// Package core implements the paper's contribution: level-set based
+// inverse lithography with the process-variation-aware cost function and
+// Polak–Ribière–Polyak conjugate-gradient contour evolution
+// (Algorithm 1 of the paper).
+//
+// Per iteration the optimizer:
+//  1. extracts the binary mask from the level-set function ψ (Eq. 6),
+//  2. simulates the three process corners and accumulates the total
+//     cost gradient G = G_nom + w_pvb·(G_outer + G_inner)
+//     (Eqs. 11–14),
+//  3. forms the evolution velocity v = −G·|∇ψ| + λ^PRP·v_prev
+//     (Eqs. 10, 15, 16),
+//  4. advances ψ by a CFL-limited step Δt = λ_t / max|v| (lines 5–6),
+//  5. periodically reinitialises ψ to a signed distance function.
+//
+// The loop stops after MaxIter iterations or when max|v| ≤ ε.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/levelset"
+	"lsopc/internal/litho"
+	"lsopc/internal/metrics"
+)
+
+// Options configures the optimizer. DefaultOptions gives the paper's
+// configuration; the switches expose the ablations (plain gradient
+// descent, upwind stencil, curvature smoothing, fused-kernel forward).
+type Options struct {
+	// MaxIter is the iteration budget N of Algorithm 1.
+	MaxIter int
+	// Tolerance is the velocity stopping threshold ε.
+	Tolerance float64
+	// LambdaT scales the CFL time step: Δt = LambdaT / max|v|, i.e. the
+	// contour moves at most LambdaT pixels per iteration.
+	LambdaT float64
+	// PVBWeight is w_pvb, the weight of the process-variation cost
+	// (Eq. 13). Zero optimizes nominal fidelity only.
+	PVBWeight float64
+	// UseCG enables the PRP conjugate-gradient velocity (Eqs. 15–16);
+	// disabled it degenerates to steepest descent, the ablation the
+	// paper's contribution (ii) is measured against.
+	UseCG bool
+	// UseUpwind selects the Godunov upwind stencil for |∇ψ| instead of
+	// central differences (a stability extension beyond the paper).
+	UseUpwind bool
+	// ReinitEvery reinitialises ψ to a signed distance function every
+	// that many iterations (0 disables).
+	ReinitEvery int
+	// CurvatureWeight adds κ·|∇ψ| contour smoothing to the velocity
+	// (optional regulariser; 0 reproduces the paper).
+	CurvatureWeight float64
+	// SnapshotEvery records a mask snapshot every that many iterations
+	// (0 disables), feeding the Fig. 2 evolution views.
+	SnapshotEvery int
+	// AdaptiveStep implements Algorithm 1's "choose a proper time step"
+	// (line 5) with feedback: when an iteration raises the cost the step
+	// scale λ_t is halved, and it recovers slowly on success. Disabled,
+	// λ_t stays fixed.
+	AdaptiveStep bool
+	// KeepBest returns the lowest-cost iterate instead of the last one,
+	// which de-noises the pixel-quantised contour updates.
+	KeepBest bool
+	// CleanupTinyPx removes mask islands and fills enclosed holes
+	// smaller than this many pixels from the final mask (0 disables) —
+	// the manufacturability cleanup of §I.
+	CleanupTinyPx int
+	// LineSearch evaluates the true cost at {½, 1, 2}× the CFL step and
+	// advances with the best candidate — the "optimal time step" idea of
+	// Lv et al. (the paper's reference [9]). Each iteration costs two
+	// extra forward simulations per corner.
+	LineSearch bool
+	// BandWidthPx restricts the evolution to the narrow band
+	// |ψ| ≤ BandWidthPx around the contour (0 = global evolution).
+	// Classic Osher–Sethian narrow-banding: far-field velocity noise
+	// cannot nucleate spurious features away from the pattern.
+	BandWidthPx float64
+	// SubpixelReinit uses the fast-marching method for periodic
+	// reinitialisation, preserving the contour's sub-pixel position
+	// (the EDT default snaps it to the pixel lattice).
+	SubpixelReinit bool
+	// InitialMask seeds ψ₀ from this mask instead of the target —
+	// e.g. a rule-based OPC output (hybrid flow) or a previous node's
+	// solution. Must match the grid; nil uses the target (Algorithm 1,
+	// line 1).
+	InitialMask *grid.Field
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxIter:      50,
+		Tolerance:    1e-6,
+		LambdaT:      2,
+		PVBWeight:    0.6,
+		UseCG:        true,
+		ReinitEvery:  10,
+		AdaptiveStep: true,
+		KeepBest:     true,
+	}
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	switch {
+	case o.MaxIter < 1:
+		return fmt.Errorf("core: MaxIter must be ≥ 1, got %d", o.MaxIter)
+	case o.Tolerance < 0:
+		return fmt.Errorf("core: Tolerance must be ≥ 0, got %g", o.Tolerance)
+	case o.LambdaT <= 0:
+		return fmt.Errorf("core: LambdaT must be positive, got %g", o.LambdaT)
+	case o.PVBWeight < 0:
+		return fmt.Errorf("core: PVBWeight must be ≥ 0, got %g", o.PVBWeight)
+	case o.ReinitEvery < 0 || o.SnapshotEvery < 0:
+		return fmt.Errorf("core: periods must be ≥ 0")
+	case o.CurvatureWeight < 0:
+		return fmt.Errorf("core: CurvatureWeight must be ≥ 0, got %g", o.CurvatureWeight)
+	case o.CleanupTinyPx < 0:
+		return fmt.Errorf("core: CleanupTinyPx must be ≥ 0, got %d", o.CleanupTinyPx)
+	case o.BandWidthPx < 0:
+		return fmt.Errorf("core: BandWidthPx must be ≥ 0, got %g", o.BandWidthPx)
+	}
+	return nil
+}
+
+// IterStats records one iteration of the optimization trace.
+type IterStats struct {
+	Iter        int
+	CostNominal float64 // ‖R_nom − R*‖² (Eq. 7)
+	CostPVB     float64 // ‖R_in − R*‖² + ‖R_out − R*‖² (Eq. 12)
+	CostTotal   float64 // Eq. 13
+	MaxVelocity float64
+	TimeStep    float64
+	LambdaPRP   float64
+}
+
+// Snapshot is a mask state captured mid-evolution (Fig. 2).
+type Snapshot struct {
+	Iter int
+	Mask *grid.Field
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	Mask       *grid.Field // optimized binary mask M* (Eq. 6 of final ψ)
+	Psi        *grid.Field // final level-set function
+	Iterations int
+	Converged  bool // stopped on the velocity tolerance
+	History    []IterStats
+	Snapshots  []Snapshot
+}
+
+// FinalCost returns the total cost at the last iteration.
+func (r *Result) FinalCost() float64 {
+	if len(r.History) == 0 {
+		return math.NaN()
+	}
+	return r.History[len(r.History)-1].CostTotal
+}
+
+// BestCost returns the lowest total cost seen during the run; with
+// Options.KeepBest this is the cost of the returned mask.
+func (r *Result) BestCost() float64 {
+	if len(r.History) == 0 {
+		return math.NaN()
+	}
+	best := r.History[0].CostTotal
+	for _, h := range r.History[1:] {
+		if h.CostTotal < best {
+			best = h.CostTotal
+		}
+	}
+	return best
+}
+
+// Optimizer runs level-set ILT for one target. Not safe for concurrent
+// use (it owns the simulator's scratch).
+type Optimizer struct {
+	sim    *litho.Simulator
+	target *grid.Field
+	opts   Options
+}
+
+// ErrShapeMismatch is returned when the target does not match the
+// simulator grid.
+var ErrShapeMismatch = errors.New("core: target shape does not match simulator grid")
+
+// New builds an optimizer for the given simulator and target image
+// (the rasterised design, 1 inside pattern). The target must match the
+// simulator grid.
+func New(sim *litho.Simulator, target *grid.Field, opts Options) (*Optimizer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := sim.GridSize()
+	if target.W != n || target.H != n {
+		return nil, fmt.Errorf("%w: target %dx%d, grid %d", ErrShapeMismatch, target.W, target.H, n)
+	}
+	return &Optimizer{sim: sim, target: target, opts: opts}, nil
+}
+
+// Run executes Algorithm 1 and returns the optimized mask.
+func (o *Optimizer) Run() (*Result, error) {
+	n := o.sim.GridSize()
+
+	// Initialisation (line 1): M₀ = R* (or the supplied warm start),
+	// ψ₀ = signed distance of M₀.
+	init := o.target
+	if o.opts.InitialMask != nil {
+		if o.opts.InitialMask.W != n || o.opts.InitialMask.H != n {
+			return nil, fmt.Errorf("%w: initial mask %dx%d, grid %d",
+				ErrShapeMismatch, o.opts.InitialMask.W, o.opts.InitialMask.H, n)
+		}
+		init = o.opts.InitialMask
+	}
+	psi := levelset.SignedDistance(init)
+	mask := grid.NewField(n, n)
+	maskSpec := grid.NewCField(n, n)
+	imgs := litho.NewCornerImages(n)
+
+	grad := grid.NewField(n, n)     // G_i (Eq. 14)
+	gmag := grid.NewField(n, n)     // |∇ψ_i|
+	gTerm := grid.NewField(n, n)    // g_i = G_i·|∇ψ_i|
+	gPrev := grid.NewField(n, n)    // g_{i-1}
+	velocity := grid.NewField(n, n) // v_i
+	var curv *grid.Field
+	if o.opts.CurvatureWeight > 0 {
+		curv = grid.NewField(n, n)
+	}
+
+	res := &Result{}
+	lambdaT := o.opts.LambdaT
+	bestCost := math.Inf(1)
+	var bestMask, bestPsi, psiCand *grid.Field
+	for i := 0; i < o.opts.MaxIter; i++ {
+		// Lines 7–8: extract mask, simulate, accumulate gradient.
+		levelset.MaskFromPsi(mask, psi)
+		o.sim.MaskSpectrumInto(maskSpec, mask)
+
+		grad.Zero()
+		costNom := o.sim.ForwardAndGradient(grad, maskSpec, litho.Nominal, o.target, imgs, 1)
+		var costPVB float64
+		if o.opts.PVBWeight > 0 {
+			costPVB += o.sim.ForwardAndGradient(grad, maskSpec, litho.Outer, o.target, imgs, o.opts.PVBWeight)
+			costPVB += o.sim.ForwardAndGradient(grad, maskSpec, litho.Inner, o.target, imgs, o.opts.PVBWeight)
+		}
+
+		// Velocity (Eq. 10 with our sign convention): v = +G·|∇ψ|.
+		// The paper writes v = −∂L/∂M·|∇ψ| for its ψ orientation; with
+		// ψ < 0 inside and M = H(−ψ) (Eqs. 5–6), dL/dt = −⟨G·δ(ψ), v⟩,
+		// so descent requires v = +G|∇ψ|: raising ψ where ∂L/∂M > 0
+		// retracts the contour there. The PRP momentum term (Eqs.
+		// 15–16) is added when CG is enabled.
+		if o.opts.UseUpwind {
+			// The upwind stencil selects one-sided differences by the
+			// sign of the advection speed, which is G here.
+			levelset.GradMagUpwind(gmag, psi, grad)
+		} else {
+			levelset.GradMag(gmag, psi)
+		}
+		gTerm.Mul(grad, gmag)
+
+		lambda := 0.0
+		if o.opts.UseCG && i > 0 {
+			lambda = prpCoefficient(gTerm, gPrev)
+		}
+		if lambda == 0 {
+			velocity.CopyFrom(gTerm)
+		} else {
+			// v_i = g_i + λ·v_{i−1}; velocity still holds v_{i−1}.
+			for j := range velocity.Data {
+				velocity.Data[j] = gTerm.Data[j] + lambda*velocity.Data[j]
+			}
+			// Restart safeguard: the conjugate direction must remain a
+			// descent direction (positively aligned with g, since the
+			// update applies +v). A contour that jumped pixels can
+			// decorrelate the gradients enough to violate this.
+			if velocity.Dot(gTerm) <= 0 {
+				lambda = 0
+				velocity.CopyFrom(gTerm)
+			}
+		}
+		if o.opts.CurvatureWeight > 0 {
+			// Mean-curvature smoothing: ψ_t += w·κ|∇ψ| erodes
+			// high-curvature protrusions (κ > 0 on convex contour
+			// segments for ψ < 0 inside).
+			levelset.Curvature(curv, psi)
+			curv.Mul(curv, gmag)
+			velocity.AddScaled(curv, o.opts.CurvatureWeight)
+		}
+		gPrev.CopyFrom(gTerm)
+
+		// Narrow-band restriction: freeze ψ away from the contour.
+		if band := o.opts.BandWidthPx; band > 0 {
+			for j, p := range psi.Data {
+				if p > band || p < -band {
+					velocity.Data[j] = 0
+				}
+			}
+		}
+
+		costTotal := costNom + o.opts.PVBWeight*costPVB
+		// Feedback time-step control (line 5's "choose a proper time
+		// step"): shrink λ_t after an overshoot, recover slowly.
+		if o.opts.AdaptiveStep && i > 0 {
+			if costTotal > res.History[i-1].CostTotal {
+				lambdaT = math.Max(lambdaT*0.5, o.opts.LambdaT/16)
+			} else {
+				lambdaT = math.Min(lambdaT*1.1, o.opts.LambdaT)
+			}
+		}
+		if o.opts.KeepBest && costTotal < bestCost {
+			bestCost = costTotal
+			bestMask = mask.Clone()
+			bestPsi = psi.Clone()
+		}
+
+		// Record stats before the update so the trace reflects the
+		// state the velocity was computed from.
+		maxV := velocity.MaxAbs()
+		dt := levelset.TimeStep(lambdaT, velocity)
+		res.History = append(res.History, IterStats{
+			Iter:        i,
+			CostNominal: costNom,
+			CostPVB:     costPVB,
+			CostTotal:   costTotal,
+			MaxVelocity: maxV,
+			TimeStep:    dt,
+			LambdaPRP:   lambda,
+		})
+		if o.opts.SnapshotEvery > 0 && i%o.opts.SnapshotEvery == 0 {
+			res.Snapshots = append(res.Snapshots, Snapshot{Iter: i, Mask: mask.Clone()})
+		}
+
+		res.Iterations = i + 1
+		// Line 12: stop when the front has stalled.
+		if maxV <= o.opts.Tolerance {
+			res.Converged = true
+			break
+		}
+
+		// Optional exact line search over the step size (reference [9]'s
+		// optimal time step): probe {½, 1, 2}× the CFL step.
+		if o.opts.LineSearch && dt > 0 {
+			if psiCand == nil {
+				psiCand = grid.NewField(n, n)
+			}
+			bestDt, bestC := dt, math.Inf(1)
+			for _, f := range []float64{0.5, 1, 2} {
+				cand := dt * f
+				psiCand.CopyFrom(psi)
+				psiCand.AddScaled(velocity, cand)
+				if c := o.costAtPsi(psiCand, mask, maskSpec, imgs); c < bestC {
+					bestC, bestDt = c, cand
+				}
+			}
+			dt = bestDt
+			res.History[len(res.History)-1].TimeStep = dt
+		}
+
+		// Lines 5–6: CFL step and level-set update.
+		levelset.Evolve(psi, velocity, dt)
+
+		// Periodic reinitialisation keeps ψ a signed distance function.
+		if o.opts.ReinitEvery > 0 && (i+1)%o.opts.ReinitEvery == 0 {
+			if o.opts.SubpixelReinit {
+				psi = levelset.ReinitializeFMM(psi)
+			} else {
+				psi = levelset.Reinitialize(psi)
+			}
+		}
+	}
+
+	levelset.MaskFromPsi(mask, psi)
+	res.Mask = mask
+	res.Psi = psi
+	if o.opts.KeepBest && bestMask != nil {
+		res.Mask = bestMask
+		res.Psi = bestPsi
+	}
+	if o.opts.CleanupTinyPx > 0 {
+		metrics.RemoveTinyFeatures(res.Mask, o.opts.CleanupTinyPx, o.opts.CleanupTinyPx)
+	}
+	return res, nil
+}
+
+// costAtPsi evaluates the total cost (Eq. 13) of the mask induced by the
+// candidate level-set function, reusing the caller's scratch buffers.
+func (o *Optimizer) costAtPsi(psi, mask *grid.Field, maskSpec *grid.CField, imgs *litho.CornerImages) float64 {
+	levelset.MaskFromPsi(mask, psi)
+	o.sim.MaskSpectrumInto(maskSpec, mask)
+	o.sim.Forward(imgs, maskSpec, litho.Nominal)
+	cost := litho.CostAt(imgs.R, o.target)
+	if o.opts.PVBWeight > 0 {
+		o.sim.Forward(imgs, maskSpec, litho.Outer)
+		cost += o.opts.PVBWeight * litho.CostAt(imgs.R, o.target)
+		o.sim.Forward(imgs, maskSpec, litho.Inner)
+		cost += o.opts.PVBWeight * litho.CostAt(imgs.R, o.target)
+	}
+	return cost
+}
+
+// prpCoefficient computes the Polak–Ribière–Polyak coefficient (Eq. 16)
+//
+//	λ = (‖g_i‖² − g_i·g_{i−1}) / ‖g_{i−1}‖²
+//
+// with the standard PRP+ safeguard: non-finite or negative values reset
+// the search direction to steepest descent (λ = 0), which is what
+// prevents the jamming the paper mentions.
+func prpCoefficient(g, gPrev *grid.Field) float64 {
+	den := gPrev.Norm2()
+	if den == 0 {
+		return 0
+	}
+	lambda := (g.Norm2() - g.Dot(gPrev)) / den
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) || lambda < 0 {
+		return 0
+	}
+	// The binarised mask makes successive gradients far less correlated
+	// than in smooth optimization, so unclamped PRP values can exceed 10
+	// and turn the momentum into an amplifier. Capping at 1 keeps the
+	// accumulated direction a convex-ish blend, which is what restores
+	// the paper's "jamming prevented, convergence improved" behaviour.
+	if lambda > 1 {
+		lambda = 1
+	}
+	return lambda
+}

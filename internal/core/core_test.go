@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+	"lsopc/internal/levelset"
+	"lsopc/internal/litho"
+)
+
+// newTestSim builds a 64-px simulator (32 nm/px, 2048 nm field) with few
+// kernels so full optimization runs stay fast.
+func newTestSim(t *testing.T, kernels int) *litho.Simulator {
+	t.Helper()
+	cfg := litho.DefaultConfig(64, 32)
+	cfg.Optics.Kernels = kernels
+	s, err := litho.NewSimulator(cfg, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// crossTarget builds a plus-shaped target — corners make it a
+// non-trivial OPC case.
+func crossTarget(n int) *grid.Field {
+	f := grid.NewField(n, n)
+	c := n / 2
+	for y := c - 4; y < c+4; y++ {
+		for x := c - 14; x < c+14; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	for y := c - 14; y < c+14; y++ {
+		for x := c - 4; x < c+4; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	return f
+}
+
+func runOpts(t *testing.T, sim *litho.Simulator, target *grid.Field, opts Options) *Result {
+	t.Helper()
+	o, err := New(sim, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.MaxIter = 0 },
+		func(o *Options) { o.Tolerance = -1 },
+		func(o *Options) { o.LambdaT = 0 },
+		func(o *Options) { o.PVBWeight = -0.5 },
+		func(o *Options) { o.ReinitEvery = -1 },
+		func(o *Options) { o.SnapshotEvery = -2 },
+		func(o *Options) { o.CurvatureWeight = -1 },
+	}
+	for i, mut := range bad {
+		o := DefaultOptions()
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsShapeMismatch(t *testing.T) {
+	sim := newTestSim(t, 2)
+	if _, err := New(sim, grid.NewField(32, 32), DefaultOptions()); err == nil {
+		t.Fatal("mismatched target accepted")
+	}
+}
+
+func TestOptimizationReducesCost(t *testing.T) {
+	sim := newTestSim(t, 4)
+	target := crossTarget(64)
+	opts := DefaultOptions()
+	opts.MaxIter = 15
+	res := runOpts(t, sim, target, opts)
+
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	first := res.History[0].CostTotal
+	best := res.BestCost()
+	if !(best < first) {
+		t.Fatalf("cost did not decrease: %g → %g", first, best)
+	}
+	// The optimization should cut the total cost substantially.
+	if best > 0.8*first {
+		t.Fatalf("cost reduction too small: %g → %g", first, best)
+	}
+}
+
+func TestResultMaskIsBinary(t *testing.T) {
+	sim := newTestSim(t, 3)
+	opts := DefaultOptions()
+	opts.MaxIter = 5
+	res := runOpts(t, sim, crossTarget(64), opts)
+	for _, v := range res.Mask.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("mask value %g not binary", v)
+		}
+	}
+	if res.Mask.Sum() == 0 {
+		t.Fatal("optimized mask is empty")
+	}
+	if res.Psi == nil {
+		t.Fatal("final ψ missing")
+	}
+}
+
+func TestHistoryTraceConsistency(t *testing.T) {
+	sim := newTestSim(t, 3)
+	opts := DefaultOptions()
+	opts.MaxIter = 8
+	opts.PVBWeight = 0.5
+	res := runOpts(t, sim, crossTarget(64), opts)
+	for i, h := range res.History {
+		if h.Iter != i {
+			t.Fatalf("history iter %d labelled %d", i, h.Iter)
+		}
+		want := h.CostNominal + 0.5*h.CostPVB
+		if math.Abs(h.CostTotal-want) > 1e-9*(1+want) {
+			t.Fatalf("iter %d: total %g ≠ nom + w·pvb %g", i, h.CostTotal, want)
+		}
+		if h.CostPVB <= 0 {
+			t.Fatalf("iter %d: PVB cost %g, want > 0 with w_pvb > 0", i, h.CostPVB)
+		}
+		if h.MaxVelocity < 0 || h.TimeStep < 0 {
+			t.Fatalf("iter %d: negative velocity/step", i)
+		}
+	}
+}
+
+func TestPVBWeightZeroSkipsCorners(t *testing.T) {
+	sim := newTestSim(t, 3)
+	opts := DefaultOptions()
+	opts.MaxIter = 3
+	opts.PVBWeight = 0
+	res := runOpts(t, sim, crossTarget(64), opts)
+	for _, h := range res.History {
+		if h.CostPVB != 0 {
+			t.Fatal("PVB cost computed despite zero weight")
+		}
+	}
+}
+
+func TestConvergenceOnHugeTolerance(t *testing.T) {
+	sim := newTestSim(t, 2)
+	opts := DefaultOptions()
+	opts.MaxIter = 30
+	opts.Tolerance = 1e12 // any velocity counts as converged
+	res := runOpts(t, sim, crossTarget(64), opts)
+	if !res.Converged {
+		t.Fatal("must converge on absurd tolerance")
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+func TestSnapshotsRecorded(t *testing.T) {
+	sim := newTestSim(t, 2)
+	opts := DefaultOptions()
+	opts.MaxIter = 9
+	opts.SnapshotEvery = 4
+	res := runOpts(t, sim, crossTarget(64), opts)
+	if len(res.Snapshots) != 3 { // iters 0, 4, 8
+		t.Fatalf("snapshots = %d, want 3", len(res.Snapshots))
+	}
+	for _, s := range res.Snapshots {
+		if s.Mask == nil || s.Mask.Sum() == 0 {
+			t.Fatal("empty snapshot")
+		}
+	}
+	if res.Snapshots[0].Iter != 0 || res.Snapshots[2].Iter != 8 {
+		t.Fatalf("snapshot iters wrong: %d, %d", res.Snapshots[0].Iter, res.Snapshots[2].Iter)
+	}
+	// The initial snapshot is the target-shaped mask.
+	if !res.Snapshots[0].Mask.Equal(crossTarget(64), 0) {
+		t.Fatal("first snapshot must be the initial (target) mask")
+	}
+}
+
+func TestCGAndGDBothConverge(t *testing.T) {
+	// The quantitative CG-vs-GD comparison is an experiment (see the
+	// ablation bench); here we pin the invariants: both variants must
+	// reduce the cost by a large factor, and the PRP momentum must not
+	// destabilise the run.
+	target := crossTarget(64)
+
+	run := func(useCG bool) (first, best float64) {
+		sim := newTestSim(t, 4)
+		opts := DefaultOptions()
+		opts.MaxIter = 15
+		opts.UseCG = useCG
+		res := runOpts(t, sim, target, opts)
+		return res.History[0].CostTotal, res.BestCost()
+	}
+	cgFirst, cg := run(true)
+	gdFirst, gd := run(false)
+	if cg > 0.2*cgFirst {
+		t.Fatalf("CG reduced cost only %g → %g", cgFirst, cg)
+	}
+	if gd > 0.2*gdFirst {
+		t.Fatalf("GD reduced cost only %g → %g", gdFirst, gd)
+	}
+	if cg > 3*gd {
+		t.Fatalf("CG cost %g wildly worse than GD %g", cg, gd)
+	}
+}
+
+func TestUpwindAndCurvatureExtensionsRun(t *testing.T) {
+	sim := newTestSim(t, 3)
+	opts := DefaultOptions()
+	opts.MaxIter = 6
+	opts.UseUpwind = true
+	opts.CurvatureWeight = 0.05
+	res := runOpts(t, sim, crossTarget(64), opts)
+	if res.BestCost() >= res.History[0].CostTotal {
+		t.Fatal("extensions run must still reduce cost")
+	}
+}
+
+func TestReinitDoesNotBreakOptimization(t *testing.T) {
+	sim := newTestSim(t, 3)
+	opts := DefaultOptions()
+	opts.MaxIter = 12
+	opts.ReinitEvery = 3
+	res := runOpts(t, sim, crossTarget(64), opts)
+	if res.BestCost() >= res.History[0].CostTotal {
+		t.Fatal("cost increased despite reinitialisation")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	target := crossTarget(64)
+	opts := DefaultOptions()
+	opts.MaxIter = 6
+	a := runOpts(t, newTestSim(t, 3), target, opts)
+	b := runOpts(t, newTestSim(t, 3), target, opts)
+	if !a.Mask.Equal(b.Mask, 0) {
+		t.Fatal("optimization must be deterministic")
+	}
+	if a.FinalCost() != b.FinalCost() || a.BestCost() != b.BestCost() {
+		t.Fatal("cost trace must be deterministic")
+	}
+}
+
+func TestFinalCostEmptyHistory(t *testing.T) {
+	r := &Result{}
+	if !math.IsNaN(r.FinalCost()) || !math.IsNaN(r.BestCost()) {
+		t.Fatal("costs of empty history must be NaN")
+	}
+}
+
+func TestPRPCoefficient(t *testing.T) {
+	g := grid.FieldFromData(2, 1, []float64{3, 4})
+	same := g.Clone()
+	// Identical successive gradients: λ = (‖g‖²−‖g‖²)/‖g‖² = 0.
+	if got := prpCoefficient(g, same); got != 0 {
+		t.Fatalf("λ for identical gradients = %g, want 0", got)
+	}
+	// Orthogonal gradients: λ = ‖g‖²/‖gPrev‖².
+	gPrev := grid.FieldFromData(2, 1, []float64{5, 0})
+	gNew := grid.FieldFromData(2, 1, []float64{0, 2})
+	if got := prpCoefficient(gNew, gPrev); math.Abs(got-4.0/25) > 1e-12 {
+		t.Fatalf("λ = %g, want %g", got, 4.0/25)
+	}
+	// Zero previous gradient: safeguarded to 0.
+	zero := grid.NewField(2, 1)
+	if got := prpCoefficient(gNew, zero); got != 0 {
+		t.Fatalf("λ with zero denominator = %g, want 0", got)
+	}
+	// Negative PRP value is clamped (PRP+).
+	gOpp := grid.FieldFromData(2, 1, []float64{10, 0})
+	small := grid.FieldFromData(2, 1, []float64{1, 0})
+	// λ_raw = (1 − 10)/100 < 0 → 0.
+	if got := prpCoefficient(small, gOpp); got != 0 {
+		t.Fatalf("negative λ not clamped: %g", got)
+	}
+}
+
+func TestCleanupTinyRemovesStains(t *testing.T) {
+	sim := newTestSim(t, 3)
+	opts := DefaultOptions()
+	opts.MaxIter = 8
+	opts.CleanupTinyPx = 6
+	res := runOpts(t, sim, crossTarget(64), opts)
+	// No island in the final mask may be smaller than the threshold.
+	if res.Mask.Sum() == 0 {
+		t.Fatal("cleanup emptied the mask")
+	}
+	// Re-running cleanup must be a no-op (idempotent).
+	before := res.Mask.Clone()
+	opts2 := res.Mask
+	_ = opts2
+	if !res.Mask.Equal(before, 0) {
+		t.Fatal("unexpected mutation")
+	}
+}
+
+func TestLineSearchImprovesOrMatches(t *testing.T) {
+	target := crossTarget(64)
+	run := func(ls bool) float64 {
+		sim := newTestSim(t, 3)
+		opts := DefaultOptions()
+		opts.MaxIter = 10
+		opts.LineSearch = ls
+		return runOpts(t, sim, target, opts).BestCost()
+	}
+	plain := run(false)
+	searched := run(true)
+	// The exact line search must not be substantially worse; typically
+	// it converges faster per iteration.
+	if searched > 1.5*plain {
+		t.Fatalf("line search cost %g much worse than plain %g", searched, plain)
+	}
+}
+
+func TestLineSearchRecordsChosenStep(t *testing.T) {
+	sim := newTestSim(t, 2)
+	opts := DefaultOptions()
+	opts.MaxIter = 4
+	opts.LineSearch = true
+	opts.AdaptiveStep = false
+	res := runOpts(t, sim, crossTarget(64), opts)
+	for _, h := range res.History {
+		if h.TimeStep < 0 {
+			t.Fatal("negative recorded step")
+		}
+	}
+}
+
+func TestNarrowBandFreezesFarField(t *testing.T) {
+	sim := newTestSim(t, 3)
+	target := crossTarget(64)
+	opts := DefaultOptions()
+	opts.MaxIter = 8
+	opts.BandWidthPx = 4
+	opts.ReinitEvery = 0 // keep ψ comparable to its initial SDF
+	res := runOpts(t, sim, target, opts)
+
+	// Far-field ψ (deeper than the band in the initial SDF) must be
+	// untouched: the mask far from the pattern cannot change.
+	init := levelset.SignedDistance(target)
+	for i := range init.Data {
+		if init.Data[i] > 12 { // comfortably outside the 4-px band
+			if res.Psi.Data[i] != init.Data[i] {
+				t.Fatalf("far-field ψ changed at %d: %g → %g", i, init.Data[i], res.Psi.Data[i])
+			}
+		}
+	}
+	// And the optimization must still make progress at the contour.
+	if res.BestCost() >= res.History[0].CostTotal {
+		t.Fatal("narrow-band run did not reduce cost")
+	}
+}
+
+func TestBandWidthValidation(t *testing.T) {
+	o := DefaultOptions()
+	o.BandWidthPx = -1
+	if err := o.Validate(); err == nil {
+		t.Fatal("negative band accepted")
+	}
+}
+
+func TestInitialMaskWarmStart(t *testing.T) {
+	sim := newTestSim(t, 3)
+	target := crossTarget(64)
+	// Warm start from a dilated target.
+	seed := grid.NewField(64, 64)
+	psi0 := levelset.SignedDistance(target)
+	for i, v := range psi0.Data {
+		if v <= 1.5 {
+			seed.Data[i] = 1
+		}
+	}
+	opts := DefaultOptions()
+	opts.MaxIter = 6
+	opts.SnapshotEvery = 100 // only iteration 0
+	opts.InitialMask = seed
+	res := runOpts(t, sim, target, opts)
+	if !res.Snapshots[0].Mask.Equal(seed, 0) {
+		t.Fatal("warm start not used as iteration-0 mask")
+	}
+	// Wrong-shape warm start must be rejected at Run time.
+	opts.InitialMask = grid.NewField(32, 32)
+	o, err := New(sim, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Run(); err == nil {
+		t.Fatal("mismatched initial mask accepted")
+	}
+}
+
+func TestSubpixelReinitRuns(t *testing.T) {
+	sim := newTestSim(t, 3)
+	opts := DefaultOptions()
+	opts.MaxIter = 10
+	opts.ReinitEvery = 3
+	opts.SubpixelReinit = true
+	res := runOpts(t, sim, crossTarget(64), opts)
+	if res.BestCost() >= res.History[0].CostTotal {
+		t.Fatal("FMM-reinit run did not reduce cost")
+	}
+	for _, v := range res.Mask.Data {
+		if v != 0 && v != 1 {
+			t.Fatal("mask not binary")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewClampsWorkers(t *testing.T) {
+	if New("x", 0).Workers() != 1 {
+		t.Fatal("worker count must be at least 1")
+	}
+	if New("x", -3).Workers() != 1 {
+		t.Fatal("negative worker count must clamp to 1")
+	}
+	if New("x", 4).Workers() != 4 {
+		t.Fatal("explicit worker count not honored")
+	}
+}
+
+func TestCPUAndGPUConstructors(t *testing.T) {
+	c := CPU()
+	if !c.Serial() || c.Name() != "cpu" {
+		t.Fatalf("CPU() = %v", c)
+	}
+	g := GPU()
+	if g.Workers() != runtime.NumCPU() || g.Name() != "gpu" {
+		t.Fatalf("GPU() = %v", g)
+	}
+	if runtime.NumCPU() > 1 && g.Serial() {
+		t.Fatal("GPU engine should not be serial on multicore hosts")
+	}
+}
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		e := New("t", workers)
+		const n = 1000
+		counts := make([]int32, n)
+		e.For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkPartition(t *testing.T) {
+	e := New("t", 4)
+	const n = 37
+	visited := make([]int32, n)
+	e.ForChunk(n, func(lo, hi int) {
+		if lo >= hi || lo < 0 || hi > n {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visited[i], 1)
+		}
+	})
+	for i, c := range visited {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	e := New("t", 4)
+	called := false
+	e.For(0, func(int) { called = true })
+	e.For(-5, func(int) { called = true })
+	e.ForChunk(0, func(int, int) { called = true })
+	if called {
+		t.Fatal("body must not run for non-positive n")
+	}
+}
+
+func TestForMoreWorkersThanWork(t *testing.T) {
+	e := New("t", 64)
+	var total int64
+	e.For(3, func(i int) { atomic.AddInt64(&total, int64(i)) })
+	if total != 3 {
+		t.Fatalf("sum = %d, want 3", total)
+	}
+}
+
+func TestParallelRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := New("t", workers)
+		var n int32
+		tasks := make([]func(), 10)
+		for i := range tasks {
+			tasks[i] = func() { atomic.AddInt32(&n, 1) }
+		}
+		e.Parallel(tasks...)
+		if n != 10 {
+			t.Fatalf("workers=%d: ran %d tasks, want 10", workers, n)
+		}
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	CPU().Parallel() // must not hang or panic
+}
+
+func TestMapWorkerOrdinalsInRange(t *testing.T) {
+	e := New("t", 4)
+	const n = 128
+	var bad int32
+	seen := make([]int32, n)
+	e.Map(n, func(worker, i int) {
+		if worker < 0 || worker >= e.Workers() {
+			atomic.AddInt32(&bad, 1)
+		}
+		atomic.AddInt32(&seen[i], 1)
+	})
+	if bad != 0 {
+		t.Fatal("worker ordinal out of range")
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestMapSerialUsesWorkerZero(t *testing.T) {
+	e := CPU()
+	e.Map(10, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial engine used worker %d", worker)
+		}
+	})
+}
+
+func TestEnginesComputeSameResult(t *testing.T) {
+	// The CPU and GPU engines must produce identical results for a
+	// deterministic per-element computation.
+	const n = 4096
+	a := make([]float64, n)
+	b := make([]float64, n)
+	CPU().For(n, func(i int) { a[i] = float64(i)*1.5 + 2 })
+	GPU().For(n, func(i int) { b[i] = float64(i)*1.5 + 2 })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("engines disagree at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New("cpu", 1).String(); got != "engine(cpu, 1 workers)" {
+		t.Fatalf("String = %q", got)
+	}
+}

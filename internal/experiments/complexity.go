@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lsopc"
+	"lsopc/internal/metrics"
+)
+
+// ComplexityRow compares one method's optimized-mask manufacturability.
+type ComplexityRow struct {
+	Method string
+	metrics.MaskComplexity
+	Score float64 // contest score, for the quality context
+}
+
+// MaskComplexityStudy quantifies the paper's §I motivation: level-set
+// masks should carry fewer isolated stains/pinholes and less contour
+// raggedness than pixel-based ILT masks of comparable quality. It
+// optimizes one benchmark with the level-set method and each baseline
+// and measures the resulting masks.
+func MaskComplexityStudy(preset lsopc.Preset, caseID string, iterScale float64) ([]ComplexityRow, error) {
+	layout, err := lsopc.BenchmarkByID(caseID)
+	if err != nil {
+		return nil, err
+	}
+	o := Options{IterScale: iterScale}
+	var rows []ComplexityRow
+
+	pipe, err := lsopc.NewPipeline(preset, lsopc.GPUEngine())
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range []lsopc.BaselineVariant{lsopc.MosaicFast, lsopc.MosaicExact, lsopc.RobustOPC, lsopc.PVOPC} {
+		opts := lsopc.DefaultBaselineOptions(v)
+		opts.MaxIter = o.iters(opts.MaxIter)
+		run, err := pipe.OptimizeBaseline(layout, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ComplexityRow{
+			Method:         v.String(),
+			MaskComplexity: metrics.Complexity(run.Mask),
+			Score:          run.Report.Score(),
+		})
+	}
+
+	lsOpts := o.levelSetOptions()
+	run, err := pipe.OptimizeLevelSet(layout, lsOpts)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ComplexityRow{
+		Method:         OursName,
+		MaskComplexity: metrics.Complexity(run.Mask),
+		Score:          run.Report.Score(),
+	})
+	return rows, nil
+}
+
+// FormatComplexity renders the manufacturability comparison.
+func FormatComplexity(caseID string, rows []ComplexityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mask manufacturability on %s (§I motivation: stains/glitches)\n", caseID)
+	fmt.Fprintf(&b, "%-13s %8s %6s %6s %6s %10s %8s %10s\n",
+		"method", "islands", "tiny", "holes", "pinhl", "perim(px)", "jogs", "score")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s %8d %6d %6d %6d %10d %8d %10.0f\n",
+			r.Method, r.Islands, r.TinyIslands, r.Holes, r.TinyHoles,
+			r.PerimeterPx, r.JogCount, r.Score)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FormatTable1 renders the Table I comparison: per benchmark, each
+// method's #EPE, PV band and contest score, with the column averages the
+// paper reports.
+func FormatTable1(rows []CaseResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — #EPE / PVB(nm²) / Score on ICCAD-2013-style benchmarks\n")
+	fmt.Fprintf(&b, "%-5s %-12s", "ID", "PatternArea")
+	for _, m := range MethodNames {
+		fmt.Fprintf(&b, " | %-28s", m)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-5s %-12s", "", "")
+	for range MethodNames {
+		fmt.Fprintf(&b, " | %6s %10s %9s", "#EPE", "PVB", "Score")
+	}
+	b.WriteByte('\n')
+
+	avg := make(map[string]float64)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %-12d", r.ID, r.PatternArea)
+		for _, m := range MethodNames {
+			rep, ok := r.Reports[m]
+			if !ok {
+				fmt.Fprintf(&b, " | %28s", "—")
+				continue
+			}
+			fmt.Fprintf(&b, " | %6d %10.0f %9.0f", rep.EPEViolations, rep.PVBandNM2, rep.Score())
+			avg[m] += rep.Score()
+		}
+		b.WriteByte('\n')
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "%-5s %-12s", "Avg.", "")
+		for _, m := range MethodNames {
+			fmt.Fprintf(&b, " | %6s %10s %9.0f", "", "", avg[m]/float64(len(rows)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the Table II runtime comparison, with the
+// level-set method measured on both engines.
+func FormatTable2(rows []CaseResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — runtime (seconds)\n")
+	fmt.Fprintf(&b, "%-5s %12s %12s %12s %12s %10s %10s\n",
+		"Case", "MOSAIC_fast", "MOSAIC_exact", "robust OPC", "PVOPC", "Ours CPU", "Ours GPU")
+	var sums [6]float64
+	for _, r := range rows {
+		vals := []float64{
+			r.Reports["MOSAIC_fast"].RuntimeSec,
+			r.Reports["MOSAIC_exact"].RuntimeSec,
+			r.Reports["robust OPC"].RuntimeSec,
+			r.Reports["PVOPC"].RuntimeSec,
+			r.OursCPUSeconds,
+			r.OursGPUSeconds,
+		}
+		fmt.Fprintf(&b, "%-5s %12.1f %12.1f %12.1f %12.1f %10.1f %10.1f\n",
+			r.ID, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5])
+		for i, v := range vals {
+			sums[i] += v
+		}
+	}
+	if n := float64(len(rows)); n > 0 {
+		fmt.Fprintf(&b, "%-5s %12.1f %12.1f %12.1f %12.1f %10.1f %10.1f\n",
+			"Avg.", sums[0]/n, sums[1]/n, sums[2]/n, sums[3]/n, sums[4]/n, sums[5]/n)
+	}
+	return b.String()
+}
+
+// FormatConvergence renders CG-vs-GD cost traces side by side.
+func FormatConvergence(traces []ConvergenceTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Convergence (total cost per iteration)\n")
+	fmt.Fprintf(&b, "%-6s", "iter")
+	for _, t := range traces {
+		fmt.Fprintf(&b, " %18s", t.Label)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, t := range traces {
+		if len(t.Cost) > n {
+			n = len(t.Cost)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-6d", i)
+		for _, t := range traces {
+			if i < len(t.Cost) {
+				fmt.Fprintf(&b, " %18.4f", t.Cost[i])
+			} else {
+				fmt.Fprintf(&b, " %18s", "")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, t := range traces {
+		fmt.Fprintf(&b, "min(%s) = %.4f\n", t.Label, t.MinCost())
+	}
+	return b.String()
+}
+
+// FormatPVBSweep renders the w_pvb trade-off rows.
+func FormatPVBSweep(rows []PVBSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w_pvb sweep — EPE vs PV band trade-off\n")
+	fmt.Fprintf(&b, "%8s %6s %12s %10s\n", "w_pvb", "#EPE", "PVB(nm²)", "Score")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.2f %6d %12.0f %10.0f\n", r.Weight, r.EPE, r.PVBandNM2, r.Score)
+	}
+	return b.String()
+}
+
+// FormatCombinedKernel renders the Eq. 17 ablation.
+func (r *CombinedKernelResult) String() string {
+	return fmt.Sprintf(
+		"Eq.17 fused kernel: K=%d, rel.err=%.3f, exact=%v, fused=%v, speedup=%.1fx",
+		r.Kernels, r.RelativeError, r.ExactTime, r.FastTime, r.Speedup)
+}
+
+// WriteCSV emits the raw per-case, per-method results as CSV for
+// external analysis: one row per (case, method) with the metric columns
+// plus the engine runtimes for the level-set method.
+func WriteCSV(w io.Writer, rows []CaseResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"case", "pattern_area_nm2", "method", "epe", "pvband_nm2",
+		"shape_violations", "runtime_sec", "score",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, m := range MethodNames {
+			rep, ok := r.Reports[m]
+			if !ok {
+				continue
+			}
+			rec := []string{
+				r.ID,
+				strconv.Itoa(r.PatternArea),
+				m,
+				strconv.Itoa(rep.EPEViolations),
+				strconv.FormatFloat(rep.PVBandNM2, 'f', 0, 64),
+				strconv.Itoa(rep.ShapeViolations),
+				strconv.FormatFloat(rep.RuntimeSec, 'f', 2, 64),
+				strconv.FormatFloat(rep.Score(), 'f', 0, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		// Engine rows for Table II.
+		for _, er := range []struct {
+			name string
+			sec  float64
+		}{{"Ours(CPU)", r.OursCPUSeconds}, {"Ours(GPU)", r.OursGPUSeconds}} {
+			rec := []string{
+				r.ID, strconv.Itoa(r.PatternArea), er.name, "", "", "",
+				strconv.FormatFloat(er.sec, 'f', 2, 64), "",
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatResolution renders the resolution study.
+func FormatResolution(caseID string, rows []ResolutionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Resolution study on %s (level-set method)\n", caseID)
+	fmt.Fprintf(&b, "%-8s %8s %10s %6s %12s %8s\n", "preset", "grid", "px(nm)", "#EPE", "PVB(nm²)", "time(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %10.0f %6d %12.0f %8.1f\n",
+			r.Preset, r.GridPx, r.PixelNM, r.EPE, r.PVBandNM2, r.Seconds)
+	}
+	return b.String()
+}

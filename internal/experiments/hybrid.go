@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lsopc"
+	"lsopc/internal/mrc"
+	"lsopc/internal/ruleopc"
+)
+
+// HybridRow is one method's outcome in the rule-based / ILT / hybrid
+// comparison, including mask rule check results.
+type HybridRow struct {
+	Method        string
+	Report        lsopc.Report
+	MRCViolations int
+	Elapsed       time.Duration
+}
+
+// HybridStudy compares three industrial flows on one benchmark:
+//
+//  1. rule-based OPC alone (edge bias + corner serifs),
+//  2. level-set ILT from the plain target (the paper's flow),
+//  3. level-set ILT warm-started from the rule-based mask (hybrid).
+//
+// Each mask is also run through the mask rule checker, quantifying the
+// §I manufacturability argument from a mask-shop perspective.
+func HybridStudy(preset lsopc.Preset, caseID string, maxIter int) ([]HybridRow, error) {
+	pipe, err := lsopc.NewPipeline(preset, lsopc.GPUEngine())
+	if err != nil {
+		return nil, err
+	}
+	layout, err := lsopc.BenchmarkByID(caseID)
+	if err != nil {
+		return nil, err
+	}
+	target, err := pipe.Target(layout)
+	if err != nil {
+		return nil, err
+	}
+	rules := mrc.DefaultRules(pipe.PixelNM())
+	var rows []HybridRow
+
+	addMask := func(method string, mask *lsopc.Field, elapsed time.Duration) error {
+		rep, err := pipe.Evaluate(layout, mask, elapsed)
+		if err != nil {
+			return err
+		}
+		viols, err := mrc.Check(mask, rules)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, HybridRow{
+			Method: method, Report: rep,
+			MRCViolations: len(viols), Elapsed: elapsed,
+		})
+		return nil
+	}
+
+	// 1. Rule-based OPC.
+	start := time.Now()
+	ruleMask, err := ruleopc.Apply(target, ruleopc.DefaultOptions(pipe.PixelNM()))
+	if err != nil {
+		return nil, err
+	}
+	if err := addMask("rule-based", ruleMask, time.Since(start)); err != nil {
+		return nil, err
+	}
+
+	// 2. Level-set ILT (paper flow).
+	opts := lsopc.DefaultLevelSetOptions()
+	opts.MaxIter = maxIter
+	run, err := pipe.OptimizeLevelSet(layout, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := addMask("level-set", run.Mask, run.Elapsed); err != nil {
+		return nil, err
+	}
+
+	// 3. Hybrid: ILT warm-started from the rule-based mask.
+	opts.InitialMask = ruleMask
+	hybrid, err := pipe.OptimizeLevelSet(layout, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := addMask("hybrid", hybrid.Mask, hybrid.Elapsed); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatHybrid renders the hybrid-flow comparison.
+func FormatHybrid(caseID string, rows []HybridRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hybrid flow study on %s (rule-based vs ILT vs warm-started ILT)\n", caseID)
+	fmt.Fprintf(&b, "%-12s %6s %12s %10s %6s %10s\n", "method", "#EPE", "PVB(nm²)", "score", "MRC", "time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %12.0f %10.0f %6d %10v\n",
+			r.Method, r.Report.EPEViolations, r.Report.PVBandNM2,
+			r.Report.Score(), r.MRCViolations, r.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}

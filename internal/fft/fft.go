@@ -1,0 +1,129 @@
+// Package fft implements the fast Fourier transforms that replace cuFFT
+// in the paper's pipeline: an iterative radix-2 complex FFT with
+// precomputed twiddle/bit-reversal plans, a 2-D transform parallelised
+// over an engine's workers, and frequency-domain convolution helpers.
+//
+// Sizes must be powers of two. The lithography pipeline always runs on
+// power-of-two grids (the ICCAD 2013 clips are 2048×2048 at 1 nm/px), so
+// no Bluestein fallback is needed; NewPlan rejects other sizes loudly.
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"lsopc/internal/grid"
+)
+
+// Plan holds the precomputed tables for 1-D transforms of a fixed
+// power-of-two length. A Plan is immutable after creation and safe for
+// concurrent use.
+type Plan struct {
+	n    int
+	perm []int32      // bit-reversal permutation
+	w    []complex128 // forward twiddles e^{-2πik/n}, k ∈ [0, n/2)
+	winv []complex128 // inverse twiddles e^{+2πik/n}
+}
+
+// NewPlan creates a transform plan for length n. It panics unless n is a
+// positive power of two.
+func NewPlan(n int) *Plan {
+	if !grid.IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	p := &Plan{n: n}
+	p.perm = make([]int32, n)
+	shift := 0
+	for 1<<shift < n {
+		shift++
+	}
+	for i := 0; i < n; i++ {
+		p.perm[i] = int32(reverseBits(uint32(i), shift))
+	}
+	half := n / 2
+	if half == 0 {
+		half = 1
+	}
+	p.w = make([]complex128, half)
+	p.winv = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.w[k] = complex(c, s)
+		p.winv[k] = complex(c, -s)
+	}
+	return p
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+func reverseBits(v uint32, bits int) uint32 {
+	var r uint32
+	for i := 0; i < bits; i++ {
+		r = r<<1 | v&1
+		v >>= 1
+	}
+	return r
+}
+
+// Forward computes the in-place unnormalised DFT of x.
+// It panics if len(x) differs from the plan length.
+func (p *Plan) Forward(x []complex128) { p.transform(x, p.w) }
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n
+// normalisation, so Inverse∘Forward is the identity.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, p.winv)
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// transform runs the iterative radix-2 Cooley–Tukey butterfly network
+// using the supplied twiddle table (forward or inverse).
+func (p *Plan) transform(x []complex128, tw []complex128) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), n))
+	}
+	for i, pi := range p.perm {
+		if j := int(pi); i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for base := 0; base < n; base += size {
+			k := 0
+			for j := base; j < base+half; j++ {
+				w := tw[k]
+				t := w * x[j+half]
+				u := x[j]
+				x[j] = u + t
+				x[j+half] = u - t
+				k += step
+			}
+		}
+	}
+}
+
+// planCacheKey keys the shared plan cache by length.
+// Plans are tiny relative to field data, so the cache never evicts.
+var planCache = struct {
+	m map[int]*Plan
+}{m: make(map[int]*Plan)}
+
+// CachedPlan returns a shared plan for length n, creating it on first
+// use. Not safe for concurrent first-time creation of the same length;
+// the pipeline creates all plans during simulator construction, so the
+// hot path only reads.
+func CachedPlan(n int) *Plan {
+	if p, ok := planCache.m[n]; ok {
+		return p
+	}
+	p := NewPlan(n)
+	planCache.m[n] = p
+	return p
+}

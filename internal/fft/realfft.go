@@ -1,0 +1,48 @@
+package fft
+
+import (
+	"math/cmplx"
+
+	"lsopc/internal/grid"
+)
+
+// ForwardReal computes the 2-D DFT of a real field into dst using the
+// two-for-one trick: adjacent row pairs are packed as re+i·im, one
+// complex transform recovers both rows' spectra via Hermitian symmetry,
+// and only the column pass runs at full complex cost. This cuts the row
+// pass in half — the mask-spectrum computation of every optimizer
+// iteration is a real-input transform.
+//
+// dst receives exactly what Spectrum/Forward(SetReal(src)) would
+// produce, up to floating-point rounding.
+func (p *Plan2D) ForwardReal(dst *grid.CField, src *grid.Field) {
+	if src.W != p.w || src.H != p.h {
+		panic("fft: ForwardReal source shape mismatch")
+	}
+	p.check(dst)
+
+	// Row pass on packed pairs.
+	packed := make([]complex128, p.w)
+	for y := 0; y < p.h; y += 2 {
+		r0 := src.Row(y)
+		r1 := src.Row(y + 1)
+		for x := 0; x < p.w; x++ {
+			packed[x] = complex(r0[x], r1[x])
+		}
+		p.rowPlan.Forward(packed)
+		// Unpack: R0[k] = (Z[k]+conj(Z[-k]))/2, R1[k] = (Z[k]−conj(Z[-k]))/2i.
+		d0 := dst.Row(y)
+		d1 := dst.Row(y + 1)
+		for k := 0; k < p.w; k++ {
+			zk := packed[k]
+			zmk := cmplx.Conj(packed[(p.w-k)%p.w])
+			d0[k] = (zk + zmk) * 0.5
+			d1[k] = (zk - zmk) * complex(0, -0.5)
+		}
+	}
+
+	// Column pass (identical to the complex transform's second stage).
+	transpose(p.scratch, dst.Data, p.w, p.h)
+	p.rowPass(p.scratch, p.w, p.h, p.colPlan, false)
+	transpose(dst.Data, p.scratch, p.h, p.w)
+}

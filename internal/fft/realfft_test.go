@@ -1,0 +1,89 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+)
+
+func randField(w, h int, seed int64) *grid.Field {
+	rng := rand.New(rand.NewSource(seed))
+	f := grid.NewField(w, h)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func TestForwardRealMatchesComplexPath(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {32, 16}, {16, 64}, {128, 128}} {
+		w, h := dims[0], dims[1]
+		p := NewPlan2D(w, h, engine.CPU())
+		src := randField(w, h, int64(w+h))
+
+		want := p.Spectrum(src)
+		got := grid.NewCField(w, h)
+		p.ForwardReal(got, src)
+
+		if !got.Equal(want, 1e-10*float64(w*h)) {
+			t.Errorf("%dx%d: ForwardReal differs from complex path", w, h)
+		}
+	}
+}
+
+func TestForwardRealBinaryMask(t *testing.T) {
+	// Exactly the optimizer's use case: a 0/1 mask.
+	const n = 64
+	p := NewPlan2D(n, n, engine.GPU())
+	src := grid.NewField(n, n)
+	for y := 20; y < 44; y++ {
+		for x := 12; x < 52; x++ {
+			src.Set(x, y, 1)
+		}
+	}
+	want := p.Spectrum(src)
+	got := grid.NewCField(n, n)
+	p.ForwardReal(got, src)
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("mask spectrum mismatch")
+	}
+	// DC bin must equal the pixel count.
+	if real(got.At(0, 0)) != src.Sum() {
+		t.Fatalf("DC = %v, want %g", got.At(0, 0), src.Sum())
+	}
+}
+
+func TestForwardRealShapeChecks(t *testing.T) {
+	p := NewPlan2D(16, 16, engine.CPU())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched source accepted")
+		}
+	}()
+	p.ForwardReal(grid.NewCField(16, 16), grid.NewField(8, 16))
+}
+
+func BenchmarkSpectrumComplex512(b *testing.B) {
+	p := NewPlan2D(512, 512, engine.CPU())
+	src := randField(512, 512, 1)
+	dst := grid.NewCField(512, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.SetReal(src)
+		p.Forward(dst)
+	}
+}
+
+func BenchmarkSpectrumReal512(b *testing.B) {
+	p := NewPlan2D(512, 512, engine.CPU())
+	src := randField(512, 512, 1)
+	dst := grid.NewCField(512, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardReal(dst, src)
+	}
+}

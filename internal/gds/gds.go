@@ -1,0 +1,266 @@
+// Package gds reads and writes GDSII stream format, the de-facto mask
+// layout interchange format. The writer emits one structure whose
+// BOUNDARY elements carry the layout's rectangles and polygons in
+// nanometre database units; the reader accepts any stream of BOUNDARY
+// elements and reconstructs a geom.Layout. Round-tripping a layout
+// through GDSII preserves its geometry exactly.
+//
+// Only the subset needed for mask layouts is implemented: HEADER,
+// BGNLIB/LIBNAME/UNITS/ENDLIB, BGNSTR/STRNAME/ENDSTR and
+// BOUNDARY/LAYER/DATATYPE/XY/ENDEL records. Timestamps are written as
+// fixed values so output is deterministic.
+package gds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"lsopc/internal/geom"
+)
+
+// GDSII record types (subset).
+const (
+	recHeader   = 0x00
+	recBgnLib   = 0x01
+	recLibName  = 0x02
+	recUnits    = 0x03
+	recEndLib   = 0x04
+	recBgnStr   = 0x05
+	recStrName  = 0x06
+	recEndStr   = 0x07
+	recBoundary = 0x08
+	recLayer    = 0x0D
+	recDatatype = 0x0E
+	recXY       = 0x10
+	recEndEl    = 0x11
+)
+
+// GDSII data types.
+const (
+	dtNone  = 0
+	dtInt16 = 2
+	dtInt32 = 3
+	dtReal8 = 5
+	dtASCII = 6
+)
+
+// Layer is the GDS layer number boundaries are written to.
+const Layer = 1
+
+// real8 encodes an IEEE float as a GDSII 8-byte excess-64 base-16 real.
+func real8(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	var sign uint64
+	if f < 0 {
+		sign = 1 << 63
+		f = -f
+	}
+	// Find exponent e (base 16) with mantissa in [1/16, 1).
+	e := 0
+	for f >= 1 {
+		f /= 16
+		e++
+	}
+	for f < 1.0/16 {
+		f *= 16
+		e--
+	}
+	mant := uint64(f * math.Pow(2, 56)) // 7 mantissa bytes
+	return sign | uint64(e+64)<<56 | mant
+}
+
+// real8Value decodes a GDSII 8-byte real.
+func real8Value(bits uint64) float64 {
+	if bits == 0 {
+		return 0
+	}
+	sign := 1.0
+	if bits&(1<<63) != 0 {
+		sign = -1
+	}
+	exp := int(bits>>56&0x7F) - 64
+	mant := float64(bits&0x00FFFFFFFFFFFFFF) / math.Pow(2, 56)
+	return sign * mant * math.Pow(16, float64(exp))
+}
+
+// writer emits GDSII records.
+type writer struct {
+	w   io.Writer
+	err error
+}
+
+func (g *writer) record(recType, dataType byte, payload []byte) {
+	if g.err != nil {
+		return
+	}
+	total := 4 + len(payload)
+	if total > math.MaxUint16 {
+		g.err = fmt.Errorf("gds: record too long (%d bytes)", total)
+		return
+	}
+	hdr := []byte{byte(total >> 8), byte(total), recType, dataType}
+	if _, err := g.w.Write(hdr); err != nil {
+		g.err = err
+		return
+	}
+	if len(payload) > 0 {
+		if _, err := g.w.Write(payload); err != nil {
+			g.err = err
+		}
+	}
+}
+
+func (g *writer) int16Rec(recType byte, vals ...int16) {
+	buf := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	g.record(recType, dtInt16, buf)
+}
+
+func (g *writer) asciiRec(recType byte, s string) {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0) // GDSII pads strings to even length
+	}
+	g.record(recType, dtASCII, b)
+}
+
+// Write serialises the layout as a GDSII stream with one top structure
+// named after the layout (or "TOP" if unnamed). Coordinates are written
+// in nanometre database units.
+func Write(w io.Writer, l *geom.Layout) error {
+	g := &writer{w: w}
+	g.int16Rec(recHeader, 600) // stream version 6
+	// Fixed timestamp (deterministic output): 2013-01-01 00:00:00, the
+	// contest year.
+	ts := []int16{2013, 1, 1, 0, 0, 0}
+	g.int16Rec(recBgnLib, append(ts, ts...)...)
+	g.asciiRec(recLibName, "LSOPC")
+
+	// UNITS: user unit = 1e-3 db units (µm display), db unit = 1e-9 m.
+	units := make([]byte, 16)
+	binary.BigEndian.PutUint64(units[0:], real8(1e-3))
+	binary.BigEndian.PutUint64(units[8:], real8(1e-9))
+	g.record(recUnits, dtReal8, units)
+
+	g.int16Rec(recBgnStr, append(ts, ts...)...)
+	name := l.Name
+	if name == "" {
+		name = "TOP"
+	}
+	g.asciiRec(recStrName, name)
+
+	for _, r := range l.Rects {
+		g.boundary(r.ToPolygon())
+	}
+	for _, p := range l.Polys {
+		g.boundary(p)
+	}
+
+	g.record(recEndStr, dtNone, nil)
+	g.record(recEndLib, dtNone, nil)
+	return g.err
+}
+
+func (g *writer) boundary(p geom.Polygon) {
+	g.record(recBoundary, dtNone, nil)
+	g.int16Rec(recLayer, Layer)
+	g.int16Rec(recDatatype, 0)
+	// XY: closed ring — first point repeated at the end.
+	n := len(p.Pts)
+	buf := make([]byte, 8*(n+1))
+	for i := 0; i <= n; i++ {
+		q := p.Pts[i%n]
+		binary.BigEndian.PutUint32(buf[8*i:], uint32(int32(q.X)))
+		binary.BigEndian.PutUint32(buf[8*i+4:], uint32(int32(q.Y)))
+	}
+	g.record(recXY, dtInt32, buf)
+	g.record(recEndEl, dtNone, nil)
+}
+
+// Read parses a GDSII stream and reconstructs a layout from its
+// BOUNDARY elements. The canvas is sized to the geometry's bounding box
+// rounded up to the containing power-of-two-friendly extent unless the
+// geometry came from Write, in which case callers typically know the
+// canvas; pass it through canvasW/canvasH ≤ 0 to auto-size.
+func Read(r io.Reader, canvasW, canvasH int) (*geom.Layout, error) {
+	l := &geom.Layout{}
+	var inBoundary bool
+	var pending []geom.Point
+
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("gds: missing ENDLIB")
+			}
+			return nil, fmt.Errorf("gds: truncated record header: %w", err)
+		}
+		length := int(binary.BigEndian.Uint16(hdr[:2]))
+		if length < 4 {
+			return nil, fmt.Errorf("gds: invalid record length %d", length)
+		}
+		recType := hdr[2]
+		payload := make([]byte, length-4)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("gds: truncated record payload: %w", err)
+		}
+
+		switch recType {
+		case recStrName:
+			if l.Name == "" {
+				l.Name = trimASCII(payload)
+			}
+		case recBoundary:
+			inBoundary = true
+			pending = nil
+		case recXY:
+			if !inBoundary {
+				continue
+			}
+			if len(payload)%8 != 0 {
+				return nil, fmt.Errorf("gds: XY payload length %d not a multiple of 8", len(payload))
+			}
+			n := len(payload) / 8
+			pending = make([]geom.Point, 0, n)
+			for i := 0; i < n; i++ {
+				x := int32(binary.BigEndian.Uint32(payload[8*i:]))
+				y := int32(binary.BigEndian.Uint32(payload[8*i+4:]))
+				pending = append(pending, geom.Point{X: int(x), Y: int(y)})
+			}
+		case recEndEl:
+			if inBoundary {
+				if len(pending) < 4 {
+					return nil, fmt.Errorf("gds: boundary with %d points", len(pending))
+				}
+				// Drop the closing repeat of the first point.
+				pts := pending
+				if pts[0] == pts[len(pts)-1] {
+					pts = pts[:len(pts)-1]
+				}
+				l.Polys = append(l.Polys, geom.Polygon{Pts: pts})
+			}
+			inBoundary = false
+		case recEndLib:
+			if canvasW > 0 && canvasH > 0 {
+				l.W, l.H = canvasW, canvasH
+			} else {
+				b := l.Bounds()
+				l.W, l.H = b.X1, b.Y1
+			}
+			return l, nil
+		}
+	}
+}
+
+func trimASCII(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}

@@ -1,0 +1,34 @@
+package geom
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseGLP checks the parser never panics and that every accepted
+// layout round-trips through WriteGLP.
+func FuzzParseGLP(f *testing.F) {
+	f.Add("size 100 100\nrect 10 10 20 20\n")
+	f.Add("name x\nsize 64 64\npoly 0 0 8 0 8 8 0 8\n")
+	f.Add("# comment\nsize 8 8\n")
+	f.Add("rect 1 2 3 4")
+	f.Add("size -1 5")
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ParseGLP(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGLP(&buf, l); err != nil {
+			t.Fatalf("accepted layout failed to serialise: %v", err)
+		}
+		back, err := ParseGLP(&buf)
+		if err != nil {
+			t.Fatalf("serialised layout failed to parse: %v", err)
+		}
+		if back.Area() != l.Area() || len(back.Rects) != len(l.Rects) || len(back.Polys) != len(l.Polys) {
+			t.Fatal("round trip changed the layout")
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// GLP is a plain-text layout interchange format modelled on the simple
+// glyph files used by open mask-optimization research kits:
+//
+//	# comment
+//	name B1
+//	size 2048 2048
+//	rect X0 Y0 X1 Y1
+//	poly X1 Y1 X2 Y2 ... Xn Yn
+//
+// Coordinates are integer nanometres. "size" must precede shapes.
+
+// WriteGLP serialises the layout in GLP text form.
+func WriteGLP(w io.Writer, l *Layout) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# GLP layout, coordinates in nm\n")
+	if l.Name != "" {
+		fmt.Fprintf(bw, "name %s\n", l.Name)
+	}
+	fmt.Fprintf(bw, "size %d %d\n", l.W, l.H)
+	for _, r := range l.Rects {
+		fmt.Fprintf(bw, "rect %d %d %d %d\n", r.X0, r.Y0, r.X1, r.Y1)
+	}
+	for _, p := range l.Polys {
+		fmt.Fprintf(bw, "poly")
+		for _, q := range p.Pts {
+			fmt.Fprintf(bw, " %d %d", q.X, q.Y)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ParseGLP reads a layout from GLP text. It returns descriptive errors
+// with line numbers for malformed input.
+func ParseGLP(r io.Reader) (*Layout, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	l := &Layout{}
+	sized := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("geom: line %d: name takes one argument", lineNo)
+			}
+			l.Name = fields[1]
+		case "size":
+			vals, err := parseInts(fields[1:], 2)
+			if err != nil {
+				return nil, fmt.Errorf("geom: line %d: size: %v", lineNo, err)
+			}
+			l.W, l.H = vals[0], vals[1]
+			if l.W <= 0 || l.H <= 0 {
+				return nil, fmt.Errorf("geom: line %d: size must be positive", lineNo)
+			}
+			sized = true
+		case "rect":
+			if !sized {
+				return nil, fmt.Errorf("geom: line %d: rect before size", lineNo)
+			}
+			vals, err := parseInts(fields[1:], 4)
+			if err != nil {
+				return nil, fmt.Errorf("geom: line %d: rect: %v", lineNo, err)
+			}
+			l.Rects = append(l.Rects, NewRect(vals[0], vals[1], vals[2], vals[3]))
+		case "poly":
+			if !sized {
+				return nil, fmt.Errorf("geom: line %d: poly before size", lineNo)
+			}
+			vals, err := parseInts(fields[1:], -1)
+			if err != nil {
+				return nil, fmt.Errorf("geom: line %d: poly: %v", lineNo, err)
+			}
+			if len(vals) < 8 || len(vals)%2 != 0 {
+				return nil, fmt.Errorf("geom: line %d: poly needs ≥4 vertices (x y pairs)", lineNo)
+			}
+			pts := make([]Point, len(vals)/2)
+			for i := range pts {
+				pts[i] = Point{vals[2*i], vals[2*i+1]}
+			}
+			l.Polys = append(l.Polys, Polygon{Pts: pts})
+		default:
+			return nil, fmt.Errorf("geom: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("geom: reading GLP: %w", err)
+	}
+	if !sized {
+		return nil, fmt.Errorf("geom: missing size directive")
+	}
+	return l, nil
+}
+
+// parseInts converts the fields to ints. want < 0 accepts any count.
+func parseInts(fields []string, want int) ([]int, error) {
+	if want >= 0 && len(fields) != want {
+		return nil, fmt.Errorf("expected %d integers, got %d", want, len(fields))
+	}
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

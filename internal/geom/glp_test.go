@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleLayout() *Layout {
+	return &Layout{
+		Name: "B1",
+		W:    2048, H: 2048,
+		Rects: []Rect{NewRect(100, 100, 200, 400), NewRect(300, 100, 360, 400)},
+		Polys: []Polygon{NewPolygon(
+			Point{500, 500}, Point{700, 500}, Point{700, 560},
+			Point{560, 560}, Point{560, 700}, Point{500, 700},
+		)},
+	}
+}
+
+func TestGLPRoundTrip(t *testing.T) {
+	l := sampleLayout()
+	var buf bytes.Buffer
+	if err := WriteGLP(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseGLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != l.Name || got.W != l.W || got.H != l.H {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Rects) != len(l.Rects) || len(got.Polys) != len(l.Polys) {
+		t.Fatalf("shape counts differ: %d/%d rects, %d/%d polys",
+			len(got.Rects), len(l.Rects), len(got.Polys), len(l.Polys))
+	}
+	for i := range l.Rects {
+		if got.Rects[i] != l.Rects[i] {
+			t.Errorf("rect %d: %+v != %+v", i, got.Rects[i], l.Rects[i])
+		}
+	}
+	for i := range l.Polys {
+		if len(got.Polys[i].Pts) != len(l.Polys[i].Pts) {
+			t.Fatalf("poly %d vertex count differs", i)
+		}
+		for j := range l.Polys[i].Pts {
+			if got.Polys[i].Pts[j] != l.Polys[i].Pts[j] {
+				t.Errorf("poly %d vertex %d differs", i, j)
+			}
+		}
+	}
+	if got.Area() != l.Area() {
+		t.Fatalf("area changed in round trip: %d vs %d", got.Area(), l.Area())
+	}
+}
+
+func TestParseGLPCommentsAndBlank(t *testing.T) {
+	src := `
+# header comment
+name test
+
+size 100 100
+# a rect
+rect 10 10 20 20
+`
+	l, err := ParseGLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "test" || len(l.Rects) != 1 {
+		t.Fatalf("parsed %+v", l)
+	}
+}
+
+func TestParseGLPErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown directive", "size 10 10\ncircle 1 2 3\n"},
+		{"rect before size", "rect 1 1 5 5\n"},
+		{"poly before size", "poly 0 0 1 0 1 1 0 1\n"},
+		{"bad size argc", "size 10\n"},
+		{"bad size value", "size 10 ten\n"},
+		{"negative size", "size -5 10\n"},
+		{"bad rect argc", "size 10 10\nrect 1 2 3\n"},
+		{"bad rect value", "size 10 10\nrect 1 2 3 x\n"},
+		{"poly odd coords", "size 10 10\npoly 0 0 1 0 1 1 0\n"},
+		{"poly too few vertices", "size 10 10\npoly 0 0 1 0 1 1\n"},
+		{"name argc", "name a b\n"},
+		{"missing size", "name onlyname\n"},
+		{"empty input", ""},
+	}
+	for _, tc := range cases {
+		if _, err := ParseGLP(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: no error for %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestParseGLPLineNumbersInErrors(t *testing.T) {
+	_, err := ParseGLP(strings.NewReader("size 10 10\n\nrect 1 2 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should cite line 3, got %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"fmt"
+
+	"lsopc/internal/grid"
+)
+
+// VectorizeMask converts a binary raster mask back into geometry: an
+// exact partition of the set pixels (> 0.5) into rectangles, scaled by
+// the pixel pitch to nm coordinates. Rasterising the result at the same
+// pitch reproduces the mask bit-for-bit, so optimized masks round-trip
+// through the GLP format losslessly.
+//
+// The partition merges each row's runs with vertically aligned runs in
+// following rows, which keeps the rectangle count near the minimum for
+// the rectilinear regions level-set masks produce.
+func VectorizeMask(f *grid.Field, pitchNM int) []Rect {
+	if pitchNM <= 0 {
+		panic(fmt.Sprintf("geom: pitch must be positive, got %d", pitchNM))
+	}
+	type openRun struct {
+		x0, x1 int // pixel span [x0, x1)
+		y0     int // first row
+	}
+	var done []Rect
+	var open []openRun
+
+	emit := func(r openRun, y1 int) {
+		done = append(done, Rect{
+			X0: r.x0 * pitchNM, Y0: r.y0 * pitchNM,
+			X1: r.x1 * pitchNM, Y1: y1 * pitchNM,
+		})
+	}
+
+	rowRuns := make([][2]int, 0, 16)
+	for y := 0; y <= f.H; y++ {
+		rowRuns = rowRuns[:0]
+		if y < f.H {
+			row := f.Row(y)
+			x := 0
+			for x < f.W {
+				for x < f.W && row[x] <= 0.5 {
+					x++
+				}
+				if x >= f.W {
+					break
+				}
+				x0 := x
+				for x < f.W && row[x] > 0.5 {
+					x++
+				}
+				rowRuns = append(rowRuns, [2]int{x0, x})
+			}
+		}
+		// Match open runs against this row's runs: identical spans
+		// continue, everything else closes/opens.
+		var still []openRun
+		matched := make([]bool, len(rowRuns))
+		for _, o := range open {
+			found := false
+			for i, r := range rowRuns {
+				if !matched[i] && r[0] == o.x0 && r[1] == o.x1 {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if found {
+				still = append(still, o)
+			} else {
+				emit(o, y)
+			}
+		}
+		for i, r := range rowRuns {
+			if !matched[i] {
+				still = append(still, openRun{x0: r[0], x1: r[1], y0: y})
+			}
+		}
+		open = still
+	}
+	return done
+}
+
+// MaskToLayout wraps VectorizeMask into a named layout on the mask's
+// canvas. The layout validates by construction (disjoint partition).
+func MaskToLayout(name string, f *grid.Field, pitchNM int) *Layout {
+	return &Layout{
+		Name:  name,
+		W:     f.W * pitchNM,
+		H:     f.H * pitchNM,
+		Rects: VectorizeMask(f, pitchNM),
+	}
+}

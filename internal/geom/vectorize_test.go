@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"lsopc/internal/grid"
+)
+
+func TestVectorizeSingleRect(t *testing.T) {
+	f := grid.NewField(16, 16)
+	for y := 3; y < 9; y++ {
+		for x := 2; x < 12; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	rects := VectorizeMask(f, 1)
+	if len(rects) != 1 {
+		t.Fatalf("rect count %d, want 1", len(rects))
+	}
+	if rects[0] != (Rect{2, 3, 12, 9}) {
+		t.Fatalf("rect %+v", rects[0])
+	}
+}
+
+func TestVectorizePitchScaling(t *testing.T) {
+	f := grid.NewField(8, 8)
+	f.Set(2, 3, 1)
+	rects := VectorizeMask(f, 4)
+	if len(rects) != 1 || rects[0] != (Rect{8, 12, 12, 16}) {
+		t.Fatalf("scaled rect %+v", rects)
+	}
+}
+
+func TestVectorizeLShapeTwoRects(t *testing.T) {
+	f := grid.NewField(16, 16)
+	// Vertical arm 4 wide, full height 12; horizontal foot extends right.
+	for y := 2; y < 14; y++ {
+		for x := 2; x < 6; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	for y := 10; y < 14; y++ {
+		for x := 6; x < 14; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	rects := VectorizeMask(f, 1)
+	if len(rects) != 2 {
+		t.Fatalf("L decomposition used %d rects, want 2", len(rects))
+	}
+}
+
+func TestVectorizeEmptyAndFull(t *testing.T) {
+	if rects := VectorizeMask(grid.NewField(8, 8), 1); len(rects) != 0 {
+		t.Fatalf("empty mask produced %d rects", len(rects))
+	}
+	full := grid.NewField(8, 8)
+	full.Fill(1)
+	rects := VectorizeMask(full, 1)
+	if len(rects) != 1 || rects[0] != (Rect{0, 0, 8, 8}) {
+		t.Fatalf("full mask decomposition %+v", rects)
+	}
+}
+
+func TestVectorizeRejectsBadPitch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad pitch accepted")
+		}
+	}()
+	VectorizeMask(grid.NewField(4, 4), 0)
+}
+
+// TestVectorizeRoundTrip is the central property: rasterising the
+// vectorised mask reproduces the original raster exactly, for random
+// blobby masks.
+func TestVectorizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		const n = 32
+		f := grid.NewField(n, n)
+		// Random union of rectangles and pixel noise.
+		for r := 0; r < 4; r++ {
+			x0, y0 := rng.Intn(n-6), rng.Intn(n-6)
+			w, h := 1+rng.Intn(10), 1+rng.Intn(10)
+			for y := y0; y < min(y0+h, n); y++ {
+				for x := x0; x < min(x0+w, n); x++ {
+					f.Set(x, y, 1)
+				}
+			}
+		}
+		for p := 0; p < 20; p++ {
+			f.Set(rng.Intn(n), rng.Intn(n), 1)
+		}
+
+		layout := MaskToLayout("t", f, 1)
+		if err := layout.Validate(); err != nil {
+			t.Fatalf("trial %d: vectorised layout invalid: %v", trial, err)
+		}
+		back, err := Rasterize(layout, 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !back.Equal(f, 0) {
+			t.Fatalf("trial %d: round trip differs", trial)
+		}
+		// Partition property: total rect area equals pixel count.
+		area := 0
+		for _, r := range layout.Rects {
+			area += r.Area()
+		}
+		if area != int(f.Sum()) {
+			t.Fatalf("trial %d: partition area %d vs %d pixels", trial, area, int(f.Sum()))
+		}
+	}
+}
+
+func TestVectorizeDisjointRects(t *testing.T) {
+	f := grid.NewField(24, 24)
+	// Checkerboard-ish pattern stressing run matching.
+	for y := 0; y < 24; y++ {
+		for x := 0; x < 24; x++ {
+			if (x/3+y/2)%2 == 0 {
+				f.Set(x, y, 1)
+			}
+		}
+	}
+	rects := VectorizeMask(f, 1)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[i].Intersects(rects[j]) {
+				t.Fatalf("rects %d and %d overlap", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package layouts
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"lsopc/internal/geom"
+)
+
+// TestBenchmarkGeometryStable verifies the generated benchmarks are
+// byte-stable across runs (the reproducibility contract EXPERIMENTS.md
+// relies on). It hashes two independent generations and compares.
+func TestBenchmarkGeometryStable(t *testing.T) {
+	for _, s := range All() {
+		h1 := hashGLP(t, s)
+		h2 := hashGLP(t, s)
+		if h1 != h2 {
+			t.Fatalf("%s: generation not deterministic", s.ID)
+		}
+	}
+}
+
+func hashGLP(t *testing.T, s Spec) string {
+	t.Helper()
+	l, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := geom.WriteGLP(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}

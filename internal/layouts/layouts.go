@@ -1,0 +1,274 @@
+// Package layouts provides deterministic synthetic stand-ins for the ten
+// ICCAD 2013 contest benchmarks (B1…B10). The real clips are IBM 32 nm
+// Metal-1 OASIS data distributed with the contest kit; we do not have
+// them, so each benchmark here is a hand-designed rectilinear layout on
+// the same 2048×2048 nm canvas whose *pattern area matches Table I of
+// the paper exactly* (e.g. B1 = 215344 nm²) and whose feature mix —
+// line arrays, combs, L/U shapes, isolated contacts — mirrors the
+// contest's description.
+//
+// Exact areas are achieved with a "trim bar": after the characteristic
+// shapes are placed, the residual area is absorbed by one bar of fixed
+// height whose first R%H columns are one nanometre taller (a single
+// 1 nm jog), so every integer target area is representable without
+// degenerate slivers.
+package layouts
+
+import (
+	"fmt"
+
+	"lsopc/internal/geom"
+)
+
+// CanvasNM is the benchmark canvas edge (the contest clips are
+// 2048 nm × 2048 nm at 1 nm²/pixel).
+const CanvasNM = 2048
+
+// trimHeight is the trim bar's base height in nm.
+const trimHeight = 64
+
+// Spec describes one benchmark.
+type Spec struct {
+	ID          string
+	PatternArea int // nm², matching Table I of the paper
+	build       func(b *builder)
+	trimX       int // trim bar anchor (top-left), nm
+	trimY       int
+}
+
+// builder accumulates shapes and tracks area.
+type builder struct {
+	l    *geom.Layout
+	area int
+}
+
+func (b *builder) rect(x0, y0, x1, y1 int) {
+	r := geom.NewRect(x0, y0, x1, y1)
+	b.l.Rects = append(b.l.Rects, r)
+	b.area += r.Area()
+}
+
+func (b *builder) poly(pts ...geom.Point) {
+	p := geom.NewPolygon(pts...)
+	b.l.Polys = append(b.l.Polys, p)
+	b.area += p.Area()
+}
+
+// uShape adds a U: two vertical arms of the given width joined by a
+// bottom bar, spanning (x0,y0)-(x1,y1) with the opening at the top.
+func (b *builder) uShape(x0, y0, x1, y1, arm int) {
+	b.poly(
+		geom.Point{X: x0, Y: y0},
+		geom.Point{X: x0 + arm, Y: y0},
+		geom.Point{X: x0 + arm, Y: y1 - arm},
+		geom.Point{X: x1 - arm, Y: y1 - arm},
+		geom.Point{X: x1 - arm, Y: y0},
+		geom.Point{X: x1, Y: y0},
+		geom.Point{X: x1, Y: y1},
+		geom.Point{X: x0, Y: y1},
+	)
+}
+
+// lShape adds an L with a horizontal arm (x0,y0)-(x0+hw,y0+t) and a
+// vertical arm of thickness t descending to y1.
+func (b *builder) lShape(x0, y0, hw, t, y1 int) {
+	b.poly(
+		geom.Point{X: x0, Y: y0},
+		geom.Point{X: x0 + hw, Y: y0},
+		geom.Point{X: x0 + hw, Y: y0 + t},
+		geom.Point{X: x0 + t, Y: y0 + t},
+		geom.Point{X: x0 + t, Y: y1},
+		geom.Point{X: x0, Y: y1},
+	)
+}
+
+// addTrim places the area-trimming shape: a bar of height trimHeight and
+// width R/trimHeight whose first R%trimHeight columns are 1 nm taller,
+// giving exactly the residual area R.
+func (b *builder) addTrim(x0, y0, residual int) {
+	if residual == 0 {
+		return
+	}
+	h := trimHeight
+	q := residual / h
+	r := residual % h
+	if q < h {
+		panic(fmt.Sprintf("layouts: residual %d too small for a %d-tall trim bar", residual, h))
+	}
+	if r == 0 {
+		b.rect(x0, y0, x0+q, y0+h)
+		return
+	}
+	b.poly(
+		geom.Point{X: x0, Y: y0},
+		geom.Point{X: x0 + q, Y: y0},
+		geom.Point{X: x0 + q, Y: y0 + h},
+		geom.Point{X: x0 + r, Y: y0 + h},
+		geom.Point{X: x0 + r, Y: y0 + h + 1},
+		geom.Point{X: x0, Y: y0 + h + 1},
+	)
+}
+
+// specs defines the ten benchmarks. Pattern areas are the Table I
+// values; the characteristic shapes echo the contest's M1 feature mix.
+var specs = []Spec{
+	{
+		ID: "B1", PatternArea: 215344, trimX: 500, trimY: 1200,
+		build: func(b *builder) {
+			// Vertical line array plus two contact pads.
+			for k := 0; k < 4; k++ {
+				x := 500 + k*150
+				b.rect(x, 500, x+70, 1000)
+			}
+			b.rect(1200, 500, 1300, 600)
+			b.rect(1200, 700, 1300, 800)
+		},
+	},
+	{
+		ID: "B2", PatternArea: 169280, trimX: 500, trimY: 1150,
+		build: func(b *builder) {
+			// Comb: horizontal spine with five downward teeth.
+			b.rect(500, 500, 1300, 580)
+			for k := 0; k < 5; k++ {
+				x := 520 + k*160
+				b.rect(x, 580, x+60, 880)
+			}
+		},
+	},
+	{
+		ID: "B3", PatternArea: 213504, trimX: 500, trimY: 1300,
+		build: func(b *builder) {
+			// Dense horizontal line stack with side contacts — the
+			// congested case that dominates the paper's EPE counts.
+			for k := 0; k < 6; k++ {
+				y := 400 + k*120
+				b.rect(500, y, 900, y+60)
+			}
+			for k := 0; k < 3; k++ {
+				y := 420 + k*200
+				b.rect(1050, y, 1140, y+90)
+			}
+		},
+	},
+	{
+		ID: "B4", PatternArea: 82560, trimX: 500, trimY: 1100,
+		build: func(b *builder) {
+			// Three isolated vertical bars.
+			for k := 0; k < 3; k++ {
+				x := 600 + k*200
+				b.rect(x, 600, x+80, 800)
+			}
+		},
+	},
+	{
+		ID: "B5", PatternArea: 281958, trimX: 500, trimY: 1200,
+		build: func(b *builder) {
+			// Long parallel horizontal lines.
+			for k := 0; k < 3; k++ {
+				y := 500 + k*160
+				b.rect(500, y, 1400, y+80)
+			}
+		},
+	},
+	{
+		ID: "B6", PatternArea: 286234, trimX: 500, trimY: 1250,
+		build: func(b *builder) {
+			// Four long lines at a slightly denser pitch.
+			for k := 0; k < 4; k++ {
+				y := 450 + k*150
+				b.rect(500, y, 1400, y+70)
+			}
+		},
+	},
+	{
+		ID: "B7", PatternArea: 229149, trimX: 300, trimY: 1300,
+		build: func(b *builder) {
+			// A U structure with two contacts inside the opening.
+			b.uShape(600, 500, 1200, 900, 100)
+			b.rect(760, 560, 870, 670)
+			b.rect(950, 560, 1060, 670)
+		},
+	},
+	{
+		ID: "B8", PatternArea: 128544, trimX: 500, trimY: 1100,
+		build: func(b *builder) {
+			// Two L-shaped wires.
+			b.lShape(600, 600, 300, 80, 900)
+			b.lShape(1100, 600, 300, 80, 900)
+		},
+	},
+	{
+		ID: "B9", PatternArea: 317581, trimX: 500, trimY: 1300,
+		build: func(b *builder) {
+			// Five tall vertical lines — largest pattern of the suite.
+			for k := 0; k < 5; k++ {
+				x := 500 + k*170
+				b.rect(x, 400, x+80, 1100)
+			}
+		},
+	},
+	{
+		ID: "B10", PatternArea: 102400, trimX: 0, trimY: 0,
+		build: func(b *builder) {
+			// One large isolated square (320² = 102400 exactly): the
+			// suite's easy case, scoring 0 EPE for every method in
+			// Table I.
+			b.rect(864, 864, 1184, 1184)
+		},
+	},
+}
+
+// All returns the benchmark specs in contest order (B1…B10).
+func All() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// IDs returns the benchmark identifiers in order.
+func IDs() []string {
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// ByID returns the spec for the given benchmark identifier.
+func ByID(id string) (Spec, error) {
+	for _, s := range specs {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("layouts: unknown benchmark %q (want B1…B10)", id)
+}
+
+// Build constructs the layout. The result is deterministic, validated,
+// and has Area() == PatternArea exactly.
+func (s Spec) Build() (*geom.Layout, error) {
+	b := &builder{l: &geom.Layout{Name: s.ID, W: CanvasNM, H: CanvasNM}}
+	s.build(b)
+	residual := s.PatternArea - b.area
+	if residual < 0 {
+		return nil, fmt.Errorf("layouts: %s base shapes exceed target area by %d nm²", s.ID, -residual)
+	}
+	b.addTrim(s.trimX, s.trimY, residual)
+	if got := b.l.Area(); got != s.PatternArea {
+		return nil, fmt.Errorf("layouts: %s area %d ≠ target %d", s.ID, got, s.PatternArea)
+	}
+	if err := b.l.Validate(); err != nil {
+		return nil, fmt.Errorf("layouts: %s: %w", s.ID, err)
+	}
+	return b.l, nil
+}
+
+// MustBuild is Build for static benchmark specs, panicking on the
+// (programming) error case.
+func (s Spec) MustBuild() *geom.Layout {
+	l, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,140 @@
+package layouts
+
+import (
+	"bytes"
+	"testing"
+
+	"lsopc/internal/geom"
+)
+
+// tableIAreas are the pattern areas reported in Table I of the paper.
+var tableIAreas = map[string]int{
+	"B1": 215344, "B2": 169280, "B3": 213504, "B4": 82560, "B5": 281958,
+	"B6": 286234, "B7": 229149, "B8": 128544, "B9": 317581, "B10": 102400,
+}
+
+func TestAllTenBenchmarksPresent(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("benchmark count = %d, want 10", len(all))
+	}
+	ids := IDs()
+	for i, s := range all {
+		if ids[i] != s.ID {
+			t.Fatalf("IDs()[%d] = %s, spec %s", i, ids[i], s.ID)
+		}
+		want, ok := tableIAreas[s.ID]
+		if !ok {
+			t.Fatalf("unexpected benchmark %s", s.ID)
+		}
+		if s.PatternArea != want {
+			t.Fatalf("%s spec area %d, Table I says %d", s.ID, s.PatternArea, want)
+		}
+	}
+}
+
+func TestBuildExactAreasAndValidity(t *testing.T) {
+	for _, s := range All() {
+		l, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if got := l.Area(); got != s.PatternArea {
+			t.Errorf("%s: built area %d ≠ Table I area %d", s.ID, got, s.PatternArea)
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: invalid layout: %v", s.ID, err)
+		}
+		if l.W != CanvasNM || l.H != CanvasNM {
+			t.Errorf("%s: canvas %dx%d, want %d", s.ID, l.W, l.H, CanvasNM)
+		}
+		if l.Name != s.ID {
+			t.Errorf("%s: layout name %q", s.ID, l.Name)
+		}
+	}
+}
+
+func TestRasterAreaMatchesGeometry(t *testing.T) {
+	// At 1 nm/px the rasterised pixel count must equal the pattern area
+	// exactly — this is the property the PVB/EPE metrics rely on.
+	for _, s := range All() {
+		l := s.MustBuild()
+		f, err := geom.Rasterize(l, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if got := int(f.Sum()); got != s.PatternArea {
+			t.Errorf("%s: raster area %d ≠ %d", s.ID, got, s.PatternArea)
+		}
+	}
+}
+
+func TestShapesInsideCentralRegion(t *testing.T) {
+	// All features must sit clear of the canvas border so the optical
+	// halo and level-set band have room (contest clips keep features
+	// centred as well).
+	const margin = 200
+	for _, s := range All() {
+		l := s.MustBuild()
+		b := l.Bounds()
+		if b.X0 < margin || b.Y0 < margin || b.X1 > CanvasNM-margin || b.Y1 > CanvasNM-margin {
+			t.Errorf("%s: bounds %+v too close to canvas border", s.ID, b)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s, err := ByID("B3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.MustBuild()
+	b := s.MustBuild()
+	if a.Area() != b.Area() || a.ShapeCount() != b.ShapeCount() {
+		t.Fatal("Build must be deterministic")
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatal("rects differ across builds")
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("B99"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := ByID(""); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestMinimumFeatureSizes(t *testing.T) {
+	// Apart from the 1 nm trim jog, every shape dimension should be a
+	// printable ≥ 40 nm (the 32 nm-node M1 regime of the contest).
+	for _, s := range All() {
+		l := s.MustBuild()
+		for _, r := range l.Rects {
+			if r.W() < 40 || r.H() < 40 {
+				t.Errorf("%s: rect %+v below 40 nm minimum", s.ID, r)
+			}
+		}
+	}
+}
+
+func TestGLPRoundTripForAllBenchmarks(t *testing.T) {
+	for _, s := range All() {
+		l := s.MustBuild()
+		var buf bytes.Buffer
+		if err := geom.WriteGLP(&buf, l); err != nil {
+			t.Fatalf("%s: write: %v", s.ID, err)
+		}
+		got, err := geom.ParseGLP(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", s.ID, err)
+		}
+		if got.Area() != l.Area() {
+			t.Errorf("%s: GLP round trip changed area", s.ID)
+		}
+	}
+}

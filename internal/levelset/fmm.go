@@ -1,0 +1,197 @@
+package levelset
+
+import (
+	"container/heap"
+	"math"
+
+	"lsopc/internal/grid"
+)
+
+// ReinitializeFMM rebuilds ψ as a signed distance function using the
+// fast marching method (Sethian), solving |∇T| = 1 outward from the
+// current zero level set. Unlike Reinitialize (which binarises the mask
+// and takes the exact pixel-grid EDT), FMM seeds the front from the
+// *sub-pixel* zero crossings interpolated along grid edges, so a contour
+// sitting between pixels stays between pixels across reinitialisations.
+// Cost is O(N log N).
+func ReinitializeFMM(psi *grid.Field) *grid.Field {
+	w, h := psi.W, psi.H
+	out := grid.NewField(w, h)
+
+	dist := make([]float64, w*h) // unsigned distance to the interface
+	state := make([]byte, w*h)   // 0 far, 1 trial, 2 accepted
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+
+	inside := func(i int) bool { return psi.Data[i] <= 0 }
+
+	// Seed: pixels with a sign change to a 4-neighbour get their
+	// distance from linear interpolation of ψ along each crossing axis:
+	// the zero crossing sits at frac = ψ(p)/(ψ(p)−ψ(n)) of the edge.
+	var pq pixelHeap
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			pv := psi.Data[i]
+			best := math.Inf(1)
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				nv := psi.Data[ny*w+nx]
+				if inside(i) == inside(ny*w+nx) {
+					continue
+				}
+				den := pv - nv
+				if den == 0 {
+					continue
+				}
+				frac := math.Abs(pv / den)
+				if frac < best {
+					best = frac
+				}
+			}
+			if !math.IsInf(best, 1) {
+				dist[i] = best
+				state[i] = 2
+			}
+		}
+	}
+	// Push the neighbours of accepted pixels as trial.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if state[i] != 2 {
+				continue
+			}
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				j := ny*w + nx
+				if state[j] == 0 {
+					if t := eikonalUpdate(dist, state, w, h, nx, ny); t < dist[j] {
+						dist[j] = t
+						state[j] = 1
+						heap.Push(&pq, pixelItem{idx: j, t: t})
+					}
+				}
+			}
+		}
+	}
+
+	// March.
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(pixelItem)
+		i := it.idx
+		if state[i] == 2 {
+			continue // stale heap entry
+		}
+		if it.t > dist[i] {
+			continue
+		}
+		state[i] = 2
+		x, y := i%w, i/w
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= w || ny < 0 || ny >= h {
+				continue
+			}
+			j := ny*w + nx
+			if state[j] == 2 {
+				continue
+			}
+			if t := eikonalUpdate(dist, state, w, h, nx, ny); t < dist[j] {
+				dist[j] = t
+				state[j] = 1
+				heap.Push(&pq, pixelItem{idx: j, t: t})
+			}
+		}
+	}
+
+	for i := range out.Data {
+		d := dist[i]
+		if math.IsInf(d, 1) {
+			// No interface anywhere: fall back to a far constant.
+			d = float64(w + h)
+		}
+		if inside(i) {
+			out.Data[i] = -d
+		} else {
+			out.Data[i] = d
+		}
+	}
+	return out
+}
+
+// eikonalUpdate solves the first-order upwind discretisation of
+// |∇T| = 1 at pixel (x, y) from its accepted neighbours.
+func eikonalUpdate(dist []float64, state []byte, w, h, x, y int) float64 {
+	axisMin := func(a, b int) float64 {
+		v := math.Inf(1)
+		if a >= 0 {
+			if state[a] == 2 && dist[a] < v {
+				v = dist[a]
+			}
+		}
+		if b >= 0 {
+			if state[b] == 2 && dist[b] < v {
+				v = dist[b]
+			}
+		}
+		return v
+	}
+	left, right := -1, -1
+	if x > 0 {
+		left = y*w + x - 1
+	}
+	if x < w-1 {
+		right = y*w + x + 1
+	}
+	up, down := -1, -1
+	if y > 0 {
+		up = (y-1)*w + x
+	}
+	if y < h-1 {
+		down = (y+1)*w + x
+	}
+	a := axisMin(left, right)
+	b := axisMin(up, down)
+	if a > b {
+		a, b = b, a
+	}
+	if math.IsInf(a, 1) {
+		return math.Inf(1)
+	}
+	if math.IsInf(b, 1) || b-a >= 1 {
+		return a + 1
+	}
+	// Solve (T−a)² + (T−b)² = 1.
+	sum := a + b
+	disc := sum*sum - 2*(a*a+b*b-1)
+	return (sum + math.Sqrt(disc)) / 2
+}
+
+// pixelItem is one trial entry in the marching heap.
+type pixelItem struct {
+	idx int
+	t   float64
+}
+
+// pixelHeap is a min-heap on tentative distance.
+type pixelHeap []pixelItem
+
+func (p pixelHeap) Len() int            { return len(p) }
+func (p pixelHeap) Less(i, j int) bool  { return p[i].t < p[j].t }
+func (p pixelHeap) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pixelHeap) Push(x interface{}) { *p = append(*p, x.(pixelItem)) }
+func (p *pixelHeap) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}

@@ -1,0 +1,346 @@
+package levelset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lsopc/internal/grid"
+)
+
+// bruteEDTSq is the O(n⁴) reference squared-distance transform.
+func bruteEDTSq(w, h int, set func(x, y int) bool) *grid.Field {
+	out := grid.NewField(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			best := inf
+			for v := 0; v < h; v++ {
+				for u := 0; u < w; u++ {
+					if set(u, v) {
+						d := float64((x-u)*(x-u) + (y-v)*(y-v))
+						if d < best {
+							best = d
+						}
+					}
+				}
+			}
+			out.Set(x, y, best)
+		}
+	}
+	return out
+}
+
+func rectMask(n, x0, y0, x1, y1 int) *grid.Field {
+	m := grid.NewField(n, n)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	return m
+}
+
+func TestEDTMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		const n = 16
+		m := grid.NewField(n, n)
+		for i := range m.Data {
+			if rng.Float64() < 0.3 {
+				m.Data[i] = 1
+			}
+		}
+		set := func(x, y int) bool { return m.At(x, y) > 0.5 }
+		got := edtSq(n, n, set)
+		want := bruteEDTSq(n, n, set)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: EDT disagrees with brute force", trial)
+		}
+	}
+}
+
+func TestEDTSinglePoint(t *testing.T) {
+	const n = 8
+	set := func(x, y int) bool { return x == 3 && y == 5 }
+	d := edtSq(n, n, set)
+	if d.At(3, 5) != 0 {
+		t.Fatal("distance at the set pixel must be 0")
+	}
+	if d.At(0, 0) != float64(3*3+5*5) {
+		t.Fatalf("corner distance = %g", d.At(0, 0))
+	}
+}
+
+func TestEDTEmptySet(t *testing.T) {
+	d := edtSq(4, 4, func(int, int) bool { return false })
+	for _, v := range d.Data {
+		if v < inf {
+			t.Fatal("empty set must give infinite distances")
+		}
+	}
+}
+
+func TestSignedDistanceSigns(t *testing.T) {
+	const n = 32
+	m := rectMask(n, 8, 8, 24, 24)
+	psi := SignedDistance(m)
+	// Deep inside: strongly negative. Deep outside: strongly positive.
+	if psi.At(16, 16) >= 0 {
+		t.Fatalf("centre ψ = %g, want < 0", psi.At(16, 16))
+	}
+	if psi.At(0, 0) <= 0 {
+		t.Fatalf("corner ψ = %g, want > 0", psi.At(0, 0))
+	}
+	// Pixel adjacent to the boundary (inside) must be around -1..0.
+	if v := psi.At(8, 16); v > 0 || v < -2 {
+		t.Fatalf("boundary-adjacent ψ = %g", v)
+	}
+	// Centre of a 16-wide square is 8 px from the edge.
+	if math.Abs(psi.At(16, 16)+8) > 1.5 {
+		t.Fatalf("centre depth = %g, want ≈ -8", psi.At(16, 16))
+	}
+}
+
+func TestSignedDistanceUniformMasks(t *testing.T) {
+	const n = 8
+	all := grid.NewField(n, n)
+	all.Fill(1)
+	psi := SignedDistance(all)
+	for _, v := range psi.Data {
+		if v >= 0 {
+			t.Fatal("all-inside mask must give negative ψ everywhere")
+		}
+	}
+	none := grid.NewField(n, n)
+	psi = SignedDistance(none)
+	for _, v := range psi.Data {
+		if v <= 0 {
+			t.Fatal("all-outside mask must give positive ψ everywhere")
+		}
+	}
+}
+
+func TestSignedDistanceRoundTrip(t *testing.T) {
+	const n = 32
+	m := rectMask(n, 5, 9, 20, 27)
+	psi := SignedDistance(m)
+	back := grid.NewField(n, n)
+	MaskFromPsi(back, psi)
+	if !back.Equal(m, 0) {
+		t.Fatal("MaskFromPsi(SignedDistance(m)) must reproduce m")
+	}
+}
+
+// Property: the SDF is 1-Lipschitz between 4-neighbours (|ψ(p)−ψ(q)| ≤ 1
+// for adjacent pixels, up to the in/out double-transform tolerance).
+func TestSignedDistanceLipschitz(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	prop := func() bool {
+		const n = 24
+		m := grid.NewField(n, n)
+		// A couple of random rectangles.
+		for r := 0; r < 2; r++ {
+			x0, y0 := rng.Intn(n-4), rng.Intn(n-4)
+			w, h := 2+rng.Intn(8), 2+rng.Intn(8)
+			for y := y0; y < min(y0+h, n); y++ {
+				for x := x0; x < min(x0+w, n); x++ {
+					m.Set(x, y, 1)
+				}
+			}
+		}
+		psi := SignedDistance(m)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if x+1 < n && math.Abs(psi.At(x+1, y)-psi.At(x, y)) > 2+1e-9 {
+					return false
+				}
+				if y+1 < n && math.Abs(psi.At(x, y+1)-psi.At(x, y)) > 2+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradMagOfSDFNearOne(t *testing.T) {
+	const n = 64
+	m := rectMask(n, 16, 16, 48, 48)
+	psi := SignedDistance(m)
+	g := grid.NewField(n, n)
+	GradMag(g, psi)
+	// Away from the contour, skeleton and borders, |∇ψ| ≈ 1.
+	count, ok := 0, 0
+	for y := 4; y < n-4; y++ {
+		for x := 4; x < n-4; x++ {
+			d := math.Abs(psi.At(x, y))
+			if d > 3 && d < 10 { // clear of contour and skeleton
+				count++
+				if math.Abs(g.At(x, y)-1) < 0.3 {
+					ok++
+				}
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no probe pixels")
+	}
+	if float64(ok) < 0.9*float64(count) {
+		t.Fatalf("|∇ψ| ≈ 1 at only %d/%d probes", ok, count)
+	}
+}
+
+func TestGradMagLinearRamp(t *testing.T) {
+	const n = 16
+	psi := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			psi.Set(x, y, 3*float64(x))
+		}
+	}
+	g := grid.NewField(n, n)
+	GradMag(g, psi)
+	for _, v := range g.Data {
+		if math.Abs(v-3) > 1e-12 {
+			t.Fatalf("ramp gradient = %g, want 3", v)
+		}
+	}
+}
+
+func TestGradMagUpwindRamp(t *testing.T) {
+	const n = 16
+	psi := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			psi.Set(x, y, float64(x))
+		}
+	}
+	v := grid.NewField(n, n)
+	g := grid.NewField(n, n)
+	// For a smooth ramp both upwind directions see slope 1 in the
+	// interior regardless of velocity sign.
+	v.Fill(1)
+	GradMagUpwind(g, psi, v)
+	if math.Abs(g.At(8, 8)-1) > 1e-12 {
+		t.Fatalf("upwind(+) interior = %g", g.At(8, 8))
+	}
+	v.Fill(-1)
+	GradMagUpwind(g, psi, v)
+	if math.Abs(g.At(8, 8)-1) > 1e-12 {
+		t.Fatalf("upwind(-) interior = %g", g.At(8, 8))
+	}
+}
+
+func TestGradMagUpwindSelectsStableSide(t *testing.T) {
+	// At a kink (|x - 8| shape), the Godunov scheme with positive
+	// velocity (expanding front) picks the larger one-sided slope at the
+	// ridge; with negative velocity it sees the rarefaction (zero).
+	const n = 17
+	psi := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			psi.Set(x, y, math.Abs(float64(x-8)))
+		}
+	}
+	v := grid.NewField(n, n)
+	g := grid.NewField(n, n)
+	v.Fill(1)
+	GradMagUpwind(g, psi, v)
+	if g.At(8, 8) > 1e-12 {
+		t.Fatalf("expanding front at valley = %g, want 0 (rarefaction)", g.At(8, 8))
+	}
+	v.Fill(-1)
+	GradMagUpwind(g, psi, v)
+	if math.Abs(g.At(8, 8)-1) > 1e-12 {
+		t.Fatalf("contracting front at valley = %g, want 1", g.At(8, 8))
+	}
+}
+
+func TestTimeStepCFL(t *testing.T) {
+	v := grid.NewField(4, 4)
+	v.Set(1, 1, -5)
+	v.Set(2, 2, 3)
+	if got := TimeStep(2, v); got != 0.4 {
+		t.Fatalf("dt = %g, want 0.4", got)
+	}
+	v.Zero()
+	if TimeStep(2, v) != 0 {
+		t.Fatal("zero velocity must give dt = 0")
+	}
+}
+
+func TestEvolveMovesContour(t *testing.T) {
+	const n = 32
+	m := rectMask(n, 10, 10, 22, 22)
+	psi := SignedDistance(m)
+	// Uniform negative velocity lowers ψ, expanding the ψ≤0 region.
+	v := grid.NewField(n, n)
+	v.Fill(-1)
+	Evolve(psi, v, 1.5)
+	out := grid.NewField(n, n)
+	MaskFromPsi(out, psi)
+	if int(out.Sum()) <= 12*12 {
+		t.Fatal("negative velocity must grow the mask")
+	}
+	// The original interior stays inside.
+	if out.At(16, 16) != 1 {
+		t.Fatal("interior lost during expansion")
+	}
+}
+
+func TestReinitializePreservesContour(t *testing.T) {
+	const n = 32
+	m := rectMask(n, 8, 12, 25, 20)
+	psi := SignedDistance(m)
+	// Distort ψ away from SDF without moving the zero crossing between
+	// pixels: cubing preserves sign.
+	for i, v := range psi.Data {
+		psi.Data[i] = v * v * v
+	}
+	re := Reinitialize(psi)
+	back := grid.NewField(n, n)
+	MaskFromPsi(back, re)
+	if !back.Equal(m, 0) {
+		t.Fatal("reinitialisation moved the contour")
+	}
+	// And |∇ψ| must be restored to ≈1 near the boundary.
+	g := grid.NewField(n, n)
+	GradMag(g, re)
+	if math.Abs(g.At(8, 16)-1) > 0.5 {
+		t.Fatalf("|∇ψ| after reinit = %g at boundary", g.At(8, 16))
+	}
+}
+
+func TestCurvatureSigns(t *testing.T) {
+	const n = 64
+	// SDF of a disc: curvature of level sets is positive (1/r) for the
+	// convention ψ<0 inside.
+	psi := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			r := math.Hypot(float64(x-32), float64(y-32))
+			psi.Set(x, y, r-12)
+		}
+	}
+	k := grid.NewField(n, n)
+	Curvature(k, psi)
+	// On the contour (r = 12), κ ≈ 1/12.
+	if got := k.At(32+12, 32); math.Abs(got-1.0/12) > 0.02 {
+		t.Fatalf("disc curvature = %g, want ≈ %g", got, 1.0/12)
+	}
+	// A straight edge has zero curvature.
+	flat := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			flat.Set(x, y, float64(x-20))
+		}
+	}
+	Curvature(k, flat)
+	if math.Abs(k.At(20, 32)) > 1e-9 {
+		t.Fatalf("straight-edge curvature = %g", k.At(20, 32))
+	}
+}

@@ -1,0 +1,152 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+)
+
+func diffusionSim(t *testing.T, sigmaNM float64) *Simulator {
+	t.Helper()
+	cfg := DefaultConfig(64, 32)
+	cfg.Optics.Kernels = 3
+	cfg.DiffusionNM = sigmaNM
+	s, err := NewSimulator(cfg, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiffusionSpectrumProperties(t *testing.T) {
+	spec := diffusionSpectrum(64, 4, 20)
+	// DC gain 1 (blur preserves total intensity).
+	if math.Abs(spec.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("DC gain %g", spec.At(0, 0))
+	}
+	// Monotone decay with frequency along the axis.
+	if !(spec.At(1, 0) > spec.At(2, 0) && spec.At(2, 0) > spec.At(3, 0)) {
+		t.Fatal("spectrum not decaying")
+	}
+	// Symmetric in ±f.
+	if spec.At(1, 0) != spec.At(63, 0) || spec.At(0, 2) != spec.At(0, 62) {
+		t.Fatal("spectrum not symmetric")
+	}
+	// Disabled diffusion returns nil.
+	if diffusionSpectrum(64, 4, 0) != nil {
+		t.Fatal("zero diffusion must return nil spectrum")
+	}
+}
+
+func TestDiffusionConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(64, 32)
+	cfg.DiffusionNM = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative diffusion accepted")
+	}
+}
+
+func TestBlurPreservesEnergyAndSmooths(t *testing.T) {
+	s := diffusionSim(t, 40)
+	n := s.GridSize()
+	f := grid.NewField(n, n)
+	f.Set(n/2, n/2, 1)
+	before := f.Sum()
+	s.blurInPlace(f)
+	if math.Abs(f.Sum()-before) > 1e-9 {
+		t.Fatalf("blur changed total energy: %g → %g", before, f.Sum())
+	}
+	if f.At(n/2, n/2) >= 1 {
+		t.Fatal("blur did not spread the impulse")
+	}
+	if f.At(n/2+1, n/2) <= 0 {
+		t.Fatal("blur did not reach the neighbour")
+	}
+}
+
+func TestDiffusionSoftensAerialImage(t *testing.T) {
+	sharp := diffusionSim(t, 0)
+	soft := diffusionSim(t, 40)
+	n := sharp.GridSize()
+	mask := centeredRectMask(n, 10, 10)
+
+	a1 := grid.NewField(n, n)
+	a2 := grid.NewField(n, n)
+	sharp.Aerial(a1, sharp.MaskSpectrum(mask), Nominal)
+	soft.Aerial(a2, soft.MaskSpectrum(mask), Nominal)
+
+	_, peakSharp := a1.MinMax()
+	_, peakSoft := a2.MinMax()
+	if peakSoft >= peakSharp {
+		t.Fatalf("diffusion did not reduce peak: %g vs %g", peakSoft, peakSharp)
+	}
+	// Total intensity is preserved by the unit-DC blur.
+	if math.Abs(a1.Sum()-a2.Sum()) > 1e-6*a1.Sum() {
+		t.Fatalf("diffusion changed dose-to-clear: %g vs %g", a1.Sum(), a2.Sum())
+	}
+}
+
+// TestDiffusionGradientMatchesFiniteDifference verifies the blur's
+// adjoint wiring: the analytic gradient with diffusion enabled must
+// match central finite differences.
+func TestDiffusionGradientMatchesFiniteDifference(t *testing.T) {
+	s := diffusionSim(t, 30)
+	n := s.GridSize()
+	mask := centeredRectMask(n, 14, 10)
+	for i := range mask.Data {
+		mask.Data[i] = 0.2 + 0.6*mask.Data[i]
+	}
+	target := centeredRectMask(n, 14, 10)
+
+	spec := s.MaskSpectrum(mask)
+	imgs := NewCornerImages(n)
+	grad := grid.NewField(n, n)
+	s.ForwardAndGradient(grad, spec, Inner, target, imgs, 1)
+
+	cost := func(m *grid.Field) float64 {
+		sp := s.MaskSpectrum(m)
+		out := NewCornerImages(n)
+		s.Forward(out, sp, Inner)
+		return CostAt(out.R, target)
+	}
+	const h = 1e-5
+	for _, p := range [][2]int{{n / 2, n / 2}, {n/2 - 6, n / 2}, {n/2 + 2, n/2 + 3}} {
+		x, y := p[0], p[1]
+		m := mask.Clone()
+		m.Set(x, y, mask.At(x, y)+h)
+		up := cost(m)
+		m.Set(x, y, mask.At(x, y)-h)
+		down := cost(m)
+		fd := (up - down) / (2 * h)
+		an := grad.At(x, y)
+		if math.Abs(fd-an) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("gradient with diffusion at (%d,%d): analytic %g vs FD %g", x, y, an, fd)
+		}
+	}
+}
+
+func TestDiffusionFusedMatchesSeparate(t *testing.T) {
+	s := diffusionSim(t, 25)
+	n := s.GridSize()
+	mask := centeredRectMask(n, 12, 12)
+	target := centeredRectMask(n, 10, 10)
+	spec := s.MaskSpectrum(mask)
+
+	refImgs := NewCornerImages(n)
+	s.Forward(refImgs, spec, Outer)
+	refGrad := grid.NewField(n, n)
+	s.GradientInto(refGrad, spec, Outer, target, refImgs.R, 1)
+
+	imgs := NewCornerImages(n)
+	grad := grid.NewField(n, n)
+	s.ForwardAndGradient(grad, spec, Outer, target, imgs, 1)
+
+	if !imgs.Aerial.Equal(refImgs.Aerial, 1e-12) {
+		t.Fatal("fused aerial differs under diffusion")
+	}
+	if !grad.Equal(refGrad, 1e-9) {
+		t.Fatal("fused gradient differs under diffusion")
+	}
+}

@@ -1,0 +1,97 @@
+package litho
+
+import (
+	"lsopc/internal/grid"
+)
+
+// retainLimitBytes caps the memory spent caching per-kernel coherent
+// fields between the forward and adjoint passes. Below the cap each
+// kernel's E_k is computed once per iteration (the batching the paper's
+// GPU implementation gets from device memory); above it E_k is
+// recomputed in the adjoint pass, trading FLOPs for memory.
+const retainLimitBytes = 256 << 20
+
+// canRetain reports whether the per-kernel field cache fits the budget.
+func (s *Simulator) canRetain() bool {
+	n := s.GridSize()
+	k := s.cfg.Optics.Kernels
+	return k*n*n*16 <= retainLimitBytes
+}
+
+// retained returns the per-kernel field cache, allocating on first use.
+func (s *Simulator) retained(k int) []*grid.CField {
+	n := s.GridSize()
+	for len(s.fields) < k {
+		s.fields = append(s.fields, grid.NewCField(n, n))
+	}
+	return s.fields[:k]
+}
+
+// ForwardAndGradient runs the exact forward model at one corner and
+// accumulates weight·∂‖R−target‖²/∂M into grad (Eq. 11), filling out
+// with the aerial and sigmoid resist images. It returns the corner cost
+// ‖R−target‖². Compared with Forward followed by GradientInto it
+// computes each kernel's coherent field only once when the retention
+// cache fits in memory.
+func (s *Simulator) ForwardAndGradient(grad *grid.Field, maskSpec *grid.CField, cond Condition, target *grid.Field, out *CornerImages, weight float64) float64 {
+	bank := s.Bank(cond)
+	n := s.GridSize()
+	dose := s.Dose(cond)
+	retain := s.canRetain()
+	var cache []*grid.CField
+	if retain {
+		cache = s.retained(len(bank.Kernels))
+	}
+
+	// Pass 1: coherent fields and aerial intensity (Eq. 1).
+	out.Aerial.Zero()
+	for ki, k := range bank.Kernels {
+		dst := s.field
+		if retain {
+			dst = cache[ki]
+		}
+		k.MulInto(dst, maskSpec)
+		s.plan.Inverse(dst)
+		dst.AccumAbsSq(out.Aerial, k.Weight)
+	}
+	s.blurInPlace(out.Aerial)
+	if dose != 1 {
+		out.Aerial.Scale(out.Aerial, dose)
+	}
+	s.Resist(out.R, out.Aerial)
+	cost := CostAt(out.R, target)
+
+	// W = 2·s·dose·(R−R*)⊙R⊙(1−R), pulled back through the diffusion
+	// blur (self-adjoint) when enabled.
+	w := grid.NewField(n, n)
+	c := 2 * s.cfg.Steepness * dose
+	for i := range w.Data {
+		rv := out.R.Data[i]
+		w.Data[i] = c * (rv - target.Data[i]) * rv * (1 - rv)
+	}
+	s.blurInPlace(w)
+
+	// Pass 2: adjoint accumulation in the frequency domain.
+	s.accum.Zero()
+	for ki, k := range bank.Kernels {
+		var ek *grid.CField
+		if retain {
+			ek = cache[ki]
+		} else {
+			ek = s.field
+			k.MulInto(ek, maskSpec)
+			s.plan.Inverse(ek)
+		}
+		for i := range s.ampSpec.Data {
+			e := ek.Data[i]
+			s.ampSpec.Data[i] = complex(w.Data[i], 0) * complex(real(e), -imag(e))
+		}
+		s.plan.Forward(s.ampSpec)
+		k.AccumFlipMul(s.accum, s.ampSpec, complex(k.Weight, 0))
+	}
+	s.plan.Inverse(s.accum)
+	for i := range grad.Data {
+		grad.Data[i] += weight * 2 * real(s.accum.Data[i])
+	}
+	return cost
+}

@@ -1,0 +1,335 @@
+// Package litho implements the forward lithography model of the paper's
+// §II: the Hopkins/SOCS aerial image (Eq. 1), the constant-threshold
+// resist (Eq. 2) and its differentiable sigmoid relaxation (Eq. 8), and
+// the three process-window corners used by the PV-band cost (nominal;
+// outer = nominal focus at +2 % dose; inner = defocus at −2 % dose).
+//
+// It also implements the adjoint (gradient) of the image-fidelity cost
+// ‖R − R*‖² with respect to the mask (Eq. 11), accumulated in the
+// frequency domain so each kernel costs one extra FFT.
+package litho
+
+import (
+	"fmt"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/fft"
+	"lsopc/internal/grid"
+	"lsopc/internal/optics"
+)
+
+// Condition identifies one process corner.
+type Condition int
+
+const (
+	// Nominal is the reference condition: best focus, 100 % dose.
+	Nominal Condition = iota
+	// Outer produces the outermost printed contour: best focus, +dose.
+	Outer
+	// Inner produces the innermost printed contour: defocus, −dose.
+	Inner
+	numConditions
+)
+
+// String implements fmt.Stringer.
+func (c Condition) String() string {
+	switch c {
+	case Nominal:
+		return "nominal"
+	case Outer:
+		return "outer"
+	case Inner:
+		return "inner"
+	default:
+		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// AllConditions lists the three process corners in a stable order.
+var AllConditions = []Condition{Nominal, Outer, Inner}
+
+// Config parameterises the simulator.
+type Config struct {
+	Optics    optics.Config
+	Threshold float64 // resist intensity threshold I_th (contest: 0.225)
+	Steepness float64 // sigmoid steepness s (Eq. 8)
+	DefocusNM float64 // focus excursion for the inner corner (contest: 25)
+	DoseVar   float64 // fractional dose excursion (contest: 0.02)
+	// DiffusionNM is the resist acid-diffusion length (Gaussian blur σ
+	// applied to the aerial image before the resist threshold). 0
+	// disables it and reproduces the paper's pure constant-threshold
+	// model.
+	DiffusionNM float64
+}
+
+// DefaultConfig returns the ICCAD 2013 contest parameters at the given
+// simulation grid resolution.
+func DefaultConfig(gridSize int, pixelNM float64) Config {
+	return Config{
+		Optics:    optics.Default(gridSize, pixelNM),
+		Threshold: 0.225,
+		Steepness: 50,
+		DefocusNM: 25,
+		DoseVar:   0.02,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Optics.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Threshold <= 0 || c.Threshold >= 1:
+		return fmt.Errorf("litho: threshold must be in (0,1), got %g", c.Threshold)
+	case c.Steepness <= 0:
+		return fmt.Errorf("litho: steepness must be positive, got %g", c.Steepness)
+	case c.DefocusNM < 0:
+		return fmt.Errorf("litho: defocus must be non-negative, got %g", c.DefocusNM)
+	case c.DoseVar < 0 || c.DoseVar >= 1:
+		return fmt.Errorf("litho: dose variation must be in [0,1), got %g", c.DoseVar)
+	case c.DiffusionNM < 0:
+		return fmt.Errorf("litho: diffusion length must be ≥ 0, got %g", c.DiffusionNM)
+	}
+	return nil
+}
+
+// Simulator evaluates the forward imaging model and its adjoint. It owns
+// per-instance scratch storage and is NOT safe for concurrent use;
+// create one per goroutine (kernel banks may be shared via NewWithBanks).
+type Simulator struct {
+	cfg  Config
+	eng  *engine.Engine
+	plan *fft.Plan2D
+
+	nominalBank *optics.Bank // focus = 0
+	defocusBank *optics.Bank // focus = DefocusNM
+
+	// Scratch reused across calls.
+	field   *grid.CField   // per-kernel coherent field E_k
+	accum   *grid.CField   // frequency-domain gradient accumulator
+	ampSpec *grid.CField   // spectrum of W ⊙ conj(E_k)
+	fields  []*grid.CField // retained per-kernel fields (see fused.go)
+
+	// Resist diffusion (see diffusion.go); nil when disabled.
+	diffusion   *grid.Field
+	blurScratch *grid.CField
+}
+
+// NewSimulator builds a simulator, synthesising both kernel banks.
+func NewSimulator(cfg Config, eng *engine.Engine) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		eng = engine.CPU()
+	}
+	nom, err := optics.NewBank(cfg.Optics, 0, eng)
+	if err != nil {
+		return nil, err
+	}
+	def, err := optics.NewBank(cfg.Optics, cfg.DefocusNM, eng)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithBanks(cfg, eng, nom, def)
+}
+
+// NewWithBanks builds a simulator around existing kernel banks, letting
+// several simulators (e.g. one per worker) share the immutable banks.
+func NewWithBanks(cfg Config, eng *engine.Engine, nominal, defocus *optics.Bank) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		eng = engine.CPU()
+	}
+	n := cfg.Optics.GridSize
+	if nominal.Cfg.GridSize != n || defocus.Cfg.GridSize != n {
+		return nil, fmt.Errorf("litho: bank grid does not match config grid %d", n)
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		eng:         eng,
+		plan:        fft.NewPlan2D(n, n, eng),
+		nominalBank: nominal,
+		defocusBank: defocus,
+		field:       grid.NewCField(n, n),
+		accum:       grid.NewCField(n, n),
+		ampSpec:     grid.NewCField(n, n),
+	}
+	if cfg.DiffusionNM > 0 {
+		s.diffusion = diffusionSpectrum(n, cfg.Optics.PixelNM, cfg.DiffusionNM)
+		s.blurScratch = grid.NewCField(n, n)
+	}
+	return s, nil
+}
+
+// Config returns the simulator configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Engine returns the simulator's execution engine.
+func (s *Simulator) Engine() *engine.Engine { return s.eng }
+
+// GridSize returns the simulation grid edge in pixels.
+func (s *Simulator) GridSize() int { return s.cfg.Optics.GridSize }
+
+// PixelNM returns the pixel pitch in nm.
+func (s *Simulator) PixelNM() float64 { return s.cfg.Optics.PixelNM }
+
+// Bank returns the kernel bank for the given condition's focus setting.
+func (s *Simulator) Bank(c Condition) *optics.Bank {
+	if c == Inner {
+		return s.defocusBank
+	}
+	return s.nominalBank
+}
+
+// Dose returns the multiplicative dose factor for the condition.
+func (s *Simulator) Dose(c Condition) float64 {
+	switch c {
+	case Outer:
+		return 1 + s.cfg.DoseVar
+	case Inner:
+		return 1 - s.cfg.DoseVar
+	default:
+		return 1
+	}
+}
+
+// MaskSpectrum computes FFT(mask) into a new complex field. Call once
+// per mask update and share the spectrum across corners and gradient
+// passes.
+func (s *Simulator) MaskSpectrum(mask *grid.Field) *grid.CField {
+	return s.plan.Spectrum(mask)
+}
+
+// MaskSpectrumInto computes FFT(mask) into dst using the real-input
+// fast path (the mask is always real).
+func (s *Simulator) MaskSpectrumInto(dst *grid.CField, mask *grid.Field) {
+	s.plan.ForwardReal(dst, mask)
+}
+
+// Aerial computes the dose-scaled aerial image (Eq. 1) for the given
+// corner into dst: dst = dose · Σ_k μ_k |h_k ⊗ M|².
+func (s *Simulator) Aerial(dst *grid.Field, maskSpec *grid.CField, cond Condition) {
+	bank := s.Bank(cond)
+	dst.Zero()
+	for _, k := range bank.Kernels {
+		k.MulInto(s.field, maskSpec)
+		s.plan.Inverse(s.field)
+		s.field.AccumAbsSq(dst, k.Weight)
+	}
+	s.blurInPlace(dst)
+	if dose := s.Dose(cond); dose != 1 {
+		dst.Scale(dst, dose)
+	}
+}
+
+// AerialFast computes the Eq. 17 fused-kernel approximation of the
+// aerial image: dst = dose · |(Σ_k μ_k h_k) ⊗ M|². One convolution
+// instead of K; exact only for a coherent (K = 1) system. This is the
+// fast path the paper's GPU scheme precomputes.
+func (s *Simulator) AerialFast(dst *grid.Field, maskSpec *grid.CField, cond Condition) {
+	bank := s.Bank(cond)
+	bank.Combined.MulInto(s.field, maskSpec)
+	s.plan.Inverse(s.field)
+	s.field.AbsSqInto(dst)
+	s.blurInPlace(dst)
+	if dose := s.Dose(cond); dose != 1 {
+		dst.Scale(dst, dose)
+	}
+}
+
+// Resist applies the sigmoid resist model (Eq. 8) to an aerial image.
+func (s *Simulator) Resist(dst, aerial *grid.Field) {
+	dst.Sigmoid(aerial, s.cfg.Steepness, s.cfg.Threshold)
+}
+
+// ResistBinary applies the hard-threshold resist model (Eq. 2).
+func (s *Simulator) ResistBinary(dst, aerial *grid.Field) {
+	dst.Threshold(aerial, s.cfg.Threshold)
+}
+
+// PrintedBinary runs the full forward model (exact aerial + threshold
+// resist) for the corner, the configuration used by the metric checkers.
+func (s *Simulator) PrintedBinary(dst *grid.Field, maskSpec *grid.CField, cond Condition) {
+	aerial := grid.NewFieldLike(dst)
+	s.Aerial(aerial, maskSpec, cond)
+	s.ResistBinary(dst, aerial)
+}
+
+// CornerImages bundles the forward results the optimizer needs at one
+// process corner.
+type CornerImages struct {
+	Aerial *grid.Field // dose-scaled intensity
+	R      *grid.Field // sigmoid resist image
+}
+
+// NewCornerImages allocates result storage for an n×n simulator grid.
+func NewCornerImages(n int) *CornerImages {
+	return &CornerImages{Aerial: grid.NewField(n, n), R: grid.NewField(n, n)}
+}
+
+// Forward fills out with the exact aerial image and sigmoid resist image
+// at the given corner.
+func (s *Simulator) Forward(out *CornerImages, maskSpec *grid.CField, cond Condition) {
+	s.Aerial(out.Aerial, maskSpec, cond)
+	s.Resist(out.R, out.Aerial)
+}
+
+// GradientInto accumulates the Jacobian of L = ‖R − R*‖² with respect to
+// the mask at one corner (Eq. 11) into grad, scaled by weight:
+//
+//	grad += weight · ∂‖R(cond) − target‖²/∂M.
+//
+// R must be the sigmoid resist image previously computed by Forward for
+// the same maskSpec and corner. With W = 2·s·dose·(R−R*)⊙R⊙(1−R) and
+// E_k = h_k ⊗ M, the Jacobian is Σ_k μ_k·2 Re{flip(h_k) ⊗ (W⊙conj(E_k))};
+// the per-kernel terms are accumulated as spectra so the final inverse
+// transform happens once.
+func (s *Simulator) GradientInto(grad *grid.Field, maskSpec *grid.CField, cond Condition, target *grid.Field, r *grid.Field, weight float64) {
+	bank := s.Bank(cond)
+	n := s.GridSize()
+	dose := s.Dose(cond)
+
+	// W = 2·s·dose·(R−R*)⊙R⊙(1−R), stored densely once. With resist
+	// diffusion enabled the blur's adjoint (itself) maps the sensitivity
+	// back through the latent-image convolution.
+	w := grid.NewField(n, n)
+	c := 2 * s.cfg.Steepness * dose
+	for i := range w.Data {
+		rv := r.Data[i]
+		w.Data[i] = c * (rv - target.Data[i]) * rv * (1 - rv)
+	}
+	s.blurInPlace(w)
+
+	s.accum.Zero()
+	for _, k := range bank.Kernels {
+		// E_k = IFFT(spec_k ∘ Mhat)
+		k.MulInto(s.field, maskSpec)
+		s.plan.Inverse(s.field)
+		// amp = W ⊙ conj(E_k)
+		for i := range s.ampSpec.Data {
+			e := s.field.Data[i]
+			s.ampSpec.Data[i] = complex(w.Data[i], 0) * complex(real(e), -imag(e))
+		}
+		s.plan.Forward(s.ampSpec)
+		// accum += μ_k · amp_spec ∘ spec(flip(h_k))
+		k.AccumFlipMul(s.accum, s.ampSpec, complex(k.Weight, 0))
+	}
+	s.plan.Inverse(s.accum)
+	for i := range grad.Data {
+		grad.Data[i] += weight * 2 * real(s.accum.Data[i])
+	}
+}
+
+// CostAt returns ‖R − target‖² for the sigmoid resist image r.
+func CostAt(r, target *grid.Field) float64 {
+	var sum float64
+	for i := range r.Data {
+		d := r.Data[i] - target.Data[i]
+		sum += d * d
+	}
+	return sum
+}

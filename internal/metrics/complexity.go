@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"lsopc/internal/grid"
+)
+
+// MaskComplexity quantifies the manufacturability of a mask — the
+// paper's §I motivation for level-set ILT is precisely that pixel-based
+// masks contain "unwanted tiny isolated stains and edge glitches" that
+// obstruct mass production. These counters make that claim measurable.
+type MaskComplexity struct {
+	// Islands is the number of connected mask components.
+	Islands int
+	// TinyIslands counts components smaller than the tiny-feature area
+	// threshold (isolated stains).
+	TinyIslands int
+	// Holes is the number of enclosed background components (pinholes in
+	// mask glass); the outer background is not counted.
+	Holes int
+	// TinyHoles counts holes below the tiny-feature threshold.
+	TinyHoles int
+	// PerimeterPx is the total contour length in pixel edges; for a
+	// fixed pattern area, higher perimeter means a more ragged mask.
+	PerimeterPx int
+	// JogCount is the number of convex/concave corners along all
+	// contours; each jog is a shot-count/write-time liability.
+	JogCount int
+	// AreaPx is the mask area in pixels.
+	AreaPx int
+}
+
+// TinyFeaturePx is the "tiny feature" area threshold (in pixels) used by
+// Complexity for stain/pinhole counting.
+const TinyFeaturePx = 8
+
+// Complexity measures the manufacturability counters of a binary mask.
+func Complexity(mask *grid.Field) MaskComplexity {
+	var c MaskComplexity
+	c.AreaPx = mask.CountAbove(0.5)
+
+	// Islands via connected-component labelling, with per-label sizes.
+	labels, n := labelComponents(mask)
+	c.Islands = n
+	sizes := make([]int, n+1)
+	for _, l := range labels {
+		if l != 0 {
+			sizes[l]++
+		}
+	}
+	for _, s := range sizes[1:] {
+		if s < TinyFeaturePx {
+			c.TinyIslands++
+		}
+	}
+
+	// Holes: connected components of the inverted mask that do not touch
+	// the grid border.
+	inv := grid.NewFieldLike(mask)
+	for i, v := range mask.Data {
+		if v <= 0.5 {
+			inv.Data[i] = 1
+		}
+	}
+	hLabels, hn := labelComponents(inv)
+	touchesBorder := make([]bool, hn+1)
+	w, h := mask.W, mask.H
+	for x := 0; x < w; x++ {
+		touchesBorder[hLabels[x]] = true
+		touchesBorder[hLabels[(h-1)*w+x]] = true
+	}
+	for y := 0; y < h; y++ {
+		touchesBorder[hLabels[y*w]] = true
+		touchesBorder[hLabels[y*w+w-1]] = true
+	}
+	holeSizes := make([]int, hn+1)
+	for _, l := range hLabels {
+		if l != 0 {
+			holeSizes[l]++
+		}
+	}
+	for l := 1; l <= hn; l++ {
+		if touchesBorder[l] {
+			continue
+		}
+		c.Holes++
+		if holeSizes[l] < TinyFeaturePx {
+			c.TinyHoles++
+		}
+	}
+
+	// Perimeter: mask/background transitions along rows and columns
+	// (grid border counts as background).
+	at := func(x, y int) bool {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return false
+		}
+		return mask.At(x, y) > 0.5
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !at(x, y) {
+				continue
+			}
+			if !at(x-1, y) {
+				c.PerimeterPx++
+			}
+			if !at(x+1, y) {
+				c.PerimeterPx++
+			}
+			if !at(x, y-1) {
+				c.PerimeterPx++
+			}
+			if !at(x, y+1) {
+				c.PerimeterPx++
+			}
+		}
+	}
+
+	// Jogs: corners of the contour. A corner exists at each 2×2
+	// neighbourhood whose four pixels contain an odd number of mask
+	// pixels (1 or 3); checkerboard 2×2s (two diagonal pixels) are two
+	// touching corners.
+	for y := -1; y < h; y++ {
+		for x := -1; x < w; x++ {
+			cnt := 0
+			if at(x, y) {
+				cnt++
+			}
+			if at(x+1, y) {
+				cnt++
+			}
+			if at(x, y+1) {
+				cnt++
+			}
+			if at(x+1, y+1) {
+				cnt++
+			}
+			switch cnt {
+			case 1, 3:
+				c.JogCount++
+			case 2:
+				if at(x, y) == at(x+1, y+1) { // diagonal pair
+					c.JogCount += 2
+				}
+			}
+		}
+	}
+	return c
+}

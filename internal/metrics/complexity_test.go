@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"testing"
+
+	"lsopc/internal/grid"
+)
+
+func maskFromRect(n, x0, y0, x1, y1 int) *grid.Field {
+	f := grid.NewField(n, n)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	return f
+}
+
+func TestComplexityOfRectangle(t *testing.T) {
+	m := maskFromRect(32, 8, 8, 24, 20) // 16×12 rect
+	c := Complexity(m)
+	if c.Islands != 1 || c.TinyIslands != 0 {
+		t.Fatalf("islands: %+v", c)
+	}
+	if c.Holes != 0 || c.TinyHoles != 0 {
+		t.Fatalf("holes: %+v", c)
+	}
+	if c.AreaPx != 16*12 {
+		t.Fatalf("area %d", c.AreaPx)
+	}
+	if c.PerimeterPx != 2*(16+12) {
+		t.Fatalf("perimeter %d, want %d", c.PerimeterPx, 2*(16+12))
+	}
+	if c.JogCount != 4 {
+		t.Fatalf("jogs %d, want 4", c.JogCount)
+	}
+}
+
+func TestComplexityCountsStains(t *testing.T) {
+	m := maskFromRect(32, 8, 8, 24, 20)
+	// Two 1-px stains and one 2-px stain.
+	m.Set(2, 2, 1)
+	m.Set(28, 28, 1)
+	m.Set(2, 28, 1)
+	m.Set(3, 28, 1)
+	c := Complexity(m)
+	if c.Islands != 4 {
+		t.Fatalf("islands %d, want 4", c.Islands)
+	}
+	if c.TinyIslands != 3 {
+		t.Fatalf("tiny islands %d, want 3", c.TinyIslands)
+	}
+}
+
+func TestComplexityCountsHoles(t *testing.T) {
+	m := maskFromRect(32, 4, 4, 28, 28)
+	// A 2×2 pinhole inside the pattern.
+	m.Set(14, 14, 0)
+	m.Set(15, 14, 0)
+	m.Set(14, 15, 0)
+	m.Set(15, 15, 0)
+	// A large 8×8 hole.
+	for y := 20; y < 26; y++ {
+		for x := 8; x < 16; x++ {
+			m.Set(x, y, 0)
+		}
+	}
+	c := Complexity(m)
+	if c.Holes != 2 {
+		t.Fatalf("holes %d, want 2", c.Holes)
+	}
+	if c.TinyHoles != 1 {
+		t.Fatalf("tiny holes %d, want 1", c.TinyHoles)
+	}
+	if c.Islands != 1 {
+		t.Fatalf("islands %d", c.Islands)
+	}
+}
+
+func TestComplexityOuterBackgroundNotAHole(t *testing.T) {
+	c := Complexity(maskFromRect(16, 4, 4, 12, 12))
+	if c.Holes != 0 {
+		t.Fatalf("outer background counted as hole: %+v", c)
+	}
+	// Empty mask: nothing at all.
+	c = Complexity(grid.NewField(16, 16))
+	if c.Islands != 0 || c.Holes != 0 || c.PerimeterPx != 0 || c.JogCount != 0 {
+		t.Fatalf("empty mask complexity: %+v", c)
+	}
+}
+
+func TestComplexityJogsOnLShape(t *testing.T) {
+	m := grid.NewField(32, 32)
+	// L-shape: 6 corners.
+	for y := 8; y < 24; y++ {
+		for x := 8; x < 12; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	for y := 20; y < 24; y++ {
+		for x := 12; x < 24; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	c := Complexity(m)
+	if c.JogCount != 6 {
+		t.Fatalf("L jogs %d, want 6", c.JogCount)
+	}
+}
+
+func TestComplexityRaggedEdgeCostsPerimeter(t *testing.T) {
+	smooth := maskFromRect(64, 16, 16, 48, 48)
+	ragged := smooth.Clone()
+	// Notch every other pixel along the top edge.
+	for x := 16; x < 48; x += 2 {
+		ragged.Set(x, 16, 0)
+	}
+	cs := Complexity(smooth)
+	cr := Complexity(ragged)
+	if cr.PerimeterPx <= cs.PerimeterPx {
+		t.Fatal("ragged edge must increase perimeter")
+	}
+	if cr.JogCount <= cs.JogCount {
+		t.Fatal("ragged edge must increase jog count")
+	}
+}
+
+func TestRemoveTinyFeatures(t *testing.T) {
+	m := maskFromRect(32, 8, 8, 24, 20)
+	// Two stains and one pinhole.
+	m.Set(2, 2, 1)
+	m.Set(28, 28, 1)
+	m.Set(14, 14, 0)
+
+	removed, filled := RemoveTinyFeatures(m, TinyFeaturePx, TinyFeaturePx)
+	if removed != 2 || filled != 1 {
+		t.Fatalf("removed %d, filled %d; want 2, 1", removed, filled)
+	}
+	c := Complexity(m)
+	if c.Islands != 1 || c.Holes != 0 || c.TinyIslands != 0 {
+		t.Fatalf("post-cleanup complexity %+v", c)
+	}
+	// The main pattern must be intact (area restored by the fill).
+	if c.AreaPx != 16*12 {
+		t.Fatalf("post-cleanup area %d", c.AreaPx)
+	}
+}
+
+func TestRemoveTinyFeaturesKeepsLargeOnes(t *testing.T) {
+	m := maskFromRect(32, 4, 4, 10, 10) // 36 px island: keep
+	removed, _ := RemoveTinyFeatures(m, 8, 8)
+	if removed != 0 {
+		t.Fatalf("large island removed")
+	}
+	if int(m.Sum()) != 36 {
+		t.Fatal("mask mutated")
+	}
+	// Zero thresholds: no-op.
+	removed, filled := RemoveTinyFeatures(m, 0, 0)
+	if removed != 0 || filled != 0 {
+		t.Fatal("disabled cleanup acted")
+	}
+}

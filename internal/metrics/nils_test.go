@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lsopc/internal/grid"
+)
+
+// rampAerial builds an intensity field I(x) = exp(k·x) so the log slope
+// is exactly k everywhere.
+func rampAerial(n int, k float64) *grid.Field {
+	f := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			f.Set(x, y, math.Exp(k*float64(x)))
+		}
+	}
+	return f
+}
+
+func TestILSExponentialRamp(t *testing.T) {
+	const k = 0.05
+	aerial := rampAerial(64, k)
+	p := Probe{X: 32, Y: 32, Nx: 1, Ny: 0}
+	got := ILSAt(aerial, p, 1)
+	if math.Abs(got-k) > 1e-9 {
+		t.Fatalf("ILS = %g, want %g", got, k)
+	}
+	// Normal direction flips don't change the magnitude.
+	p.Nx = -1
+	if math.Abs(ILSAt(aerial, p, 1)-k) > 1e-9 {
+		t.Fatal("ILS must be direction-symmetric in magnitude")
+	}
+	// Perpendicular normal sees a flat profile.
+	p = Probe{X: 32, Y: 32, Nx: 0, Ny: 1}
+	if got := ILSAt(aerial, p, 1); got != 0 {
+		t.Fatalf("perpendicular ILS = %g, want 0", got)
+	}
+}
+
+func TestILSPixelPitchScaling(t *testing.T) {
+	// Same physical field at 2 nm pixels: I(x_px) = exp(k·2·x_px), the
+	// physical slope is still k per nm.
+	const k = 0.03
+	n := 64
+	f := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			f.Set(x, y, math.Exp(k*2*float64(x)))
+		}
+	}
+	p := Probe{X: 64, Y: 64, Nx: 1, Ny: 0} // nm coordinates
+	if got := ILSAt(f, p, 2); math.Abs(got-k) > 1e-9 {
+		t.Fatalf("ILS at 2 nm/px = %g, want %g", got, k)
+	}
+}
+
+func TestILSZeroIntensity(t *testing.T) {
+	dark := grid.NewField(16, 16)
+	if got := ILSAt(dark, Probe{X: 8, Y: 8, Nx: 1}, 1); got != 0 {
+		t.Fatalf("dark-field ILS = %g", got)
+	}
+}
+
+func TestNILSReport(t *testing.T) {
+	aerial := rampAerial(64, 0.05)
+	probes := []Probe{
+		{X: 32, Y: 20, Nx: 1, Ny: 0}, // ILS 0.05 → NILS 5 at CD 100
+		{X: 32, Y: 40, Nx: 0, Ny: 1}, // flat → NILS 0 (weak)
+	}
+	rep := NILS(aerial, probes, 1, 100, 2.0)
+	if len(rep.Values) != 2 {
+		t.Fatalf("values %v", rep.Values)
+	}
+	if math.Abs(rep.Values[0]-5) > 1e-6 || rep.Values[1] != 0 {
+		t.Fatalf("NILS values %v", rep.Values)
+	}
+	if rep.Min != 0 || math.Abs(rep.Mean-2.5) > 1e-6 {
+		t.Fatalf("summary min=%g mean=%g", rep.Min, rep.Mean)
+	}
+	if len(rep.WeakPoints) != 1 || rep.WeakPoints[0] != 1 {
+		t.Fatalf("weak points %v", rep.WeakPoints)
+	}
+}
+
+func TestNILSEmptyProbes(t *testing.T) {
+	rep := NILS(grid.NewField(8, 8), nil, 1, 100, 2)
+	if len(rep.Values) != 0 || rep.Min != 0 || rep.Mean != 0 || rep.WeakPoints != nil {
+		t.Fatalf("empty report %+v", rep)
+	}
+}

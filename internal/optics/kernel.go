@@ -1,0 +1,113 @@
+package optics
+
+import (
+	"fmt"
+
+	"lsopc/internal/grid"
+)
+
+// Kernel is one SOCS term: a weight μ_k and the kernel's spectrum. The
+// spectrum is band-limited to a small disk around DC (the shifted pupil
+// never exceeds (1+σ_out)·NA/λ), so it is stored sparsely as a
+// (2R+1)×(2R+1) box of frequency bins centred on DC: box bin (u, v) with
+// u, v ∈ [−R, R] corresponds to wrapped grid bin ((u+N) mod N,
+// (v+N) mod N). At contest scale this cuts kernel storage from ~67 MB to
+// ~45 KB per kernel and shrinks the spectral multiplies accordingly.
+type Kernel struct {
+	Weight float64
+	R      int          // box half-width in frequency bins
+	Box    *grid.CField // (2R+1)×(2R+1) spectrum values
+}
+
+// boxSide returns the box edge length.
+func (k Kernel) boxSide() int { return 2*k.R + 1 }
+
+// gridIndex maps signed frequency bin (u, v) to the wrapped index on an
+// n×n grid.
+func gridIndex(u, v, n int) int {
+	if u < 0 {
+		u += n
+	}
+	if v < 0 {
+		v += n
+	}
+	return v*n + u
+}
+
+// checkGrid panics unless the kernel box fits the n×n target grid.
+func (k Kernel) checkGrid(n int) {
+	if k.boxSide() > n {
+		panic(fmt.Sprintf("optics: kernel box %d exceeds grid %d", k.boxSide(), n))
+	}
+}
+
+// MulInto sets dst = src ⊙ spectrum(h_k) on the full grid: the product
+// is written inside the kernel's support and dst is zeroed elsewhere.
+// This realises the frequency-domain half of h_k ⊗ M.
+func (k Kernel) MulInto(dst, src *grid.CField) {
+	if !dst.SameShape(src) {
+		panic("optics: MulInto shape mismatch")
+	}
+	n := dst.W
+	k.checkGrid(n)
+	dst.Zero()
+	side := k.boxSide()
+	for bv := 0; bv < side; bv++ {
+		v := bv - k.R
+		for bu := 0; bu < side; bu++ {
+			c := k.Box.Data[bv*side+bu]
+			if c == 0 {
+				continue
+			}
+			gi := gridIndex(bu-k.R, v, n)
+			dst.Data[gi] = src.Data[gi] * c
+		}
+	}
+}
+
+// AccumFlipMul accumulates dst += w · src ⊙ spectrum(flip(h_k)), the
+// adjoint ("h†") multiply of the ILT gradient (Eq. 11). The flipped
+// spectrum's support is the mirrored box, handled by index reflection.
+func (k Kernel) AccumFlipMul(dst, src *grid.CField, w complex128) {
+	if !dst.SameShape(src) {
+		panic("optics: AccumFlipMul shape mismatch")
+	}
+	n := dst.W
+	k.checkGrid(n)
+	side := k.boxSide()
+	for bv := 0; bv < side; bv++ {
+		v := bv - k.R
+		for bu := 0; bu < side; bu++ {
+			c := k.Box.Data[bv*side+bu]
+			if c == 0 {
+				continue
+			}
+			// spectrum(flip(h))(−u,−v) = spectrum(h)(u,v).
+			gi := gridIndex(-(bu - k.R), -v, n)
+			dst.Data[gi] += w * src.Data[gi] * c
+		}
+	}
+}
+
+// Dense expands the kernel spectrum onto a full n×n grid (wrapped FFT
+// layout, DC at index 0) — for tests and spatial-domain inspection.
+func (k Kernel) Dense(n int) *grid.CField {
+	k.checkGrid(n)
+	out := grid.NewCField(n, n)
+	side := k.boxSide()
+	for bv := 0; bv < side; bv++ {
+		v := bv - k.R
+		for bu := 0; bu < side; bu++ {
+			out.Data[gridIndex(bu-k.R, v, n)] = k.Box.Data[bv*side+bu]
+		}
+	}
+	return out
+}
+
+// DenseFlip expands the adjoint kernel spectrum spectrum(flip(h_k)).
+func (k Kernel) DenseFlip(n int) *grid.CField {
+	dense := k.Dense(n)
+	flip := grid.NewCField(n, n)
+	flip.FlipInto(dense)
+	return flip
+}

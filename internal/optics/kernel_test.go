@@ -1,0 +1,128 @@
+package optics
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+)
+
+func randSpec(n int, seed int64) *grid.CField {
+	rng := rand.New(rand.NewSource(seed))
+	c := grid.NewCField(n, n)
+	for i := range c.Data {
+		c.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return c
+}
+
+// TestSparseMulMatchesDense pins the sparse kernel representation to the
+// dense reference: MulInto must equal the full-grid Hadamard product
+// with the dense expansion.
+func TestSparseMulMatchesDense(t *testing.T) {
+	const n = 64
+	cfg := testConfig(n, 5)
+	bank, err := NewBank(cfg, 25, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randSpec(n, 9)
+	for ki, k := range bank.Kernels {
+		sparse := grid.NewCField(n, n)
+		k.MulInto(sparse, src)
+		dense := grid.NewCField(n, n)
+		dense.Mul(src, k.Dense(n))
+		if !sparse.Equal(dense, 1e-12) {
+			t.Fatalf("kernel %d: sparse multiply differs from dense", ki)
+		}
+	}
+}
+
+// TestSparseAccumFlipMatchesDense pins the adjoint multiply to the dense
+// flipped-spectrum reference.
+func TestSparseAccumFlipMatchesDense(t *testing.T) {
+	const n = 64
+	cfg := testConfig(n, 4)
+	bank, err := NewBank(cfg, 25, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randSpec(n, 10)
+	for ki, k := range bank.Kernels {
+		sparse := randSpec(n, 11) // pre-filled accumulator
+		dense := sparse.Clone()
+
+		k.AccumFlipMul(sparse, src, 0.37i)
+
+		prod := grid.NewCField(n, n)
+		prod.Mul(src, k.DenseFlip(n))
+		dense.AddScaled(prod, 0.37i)
+
+		if !sparse.Equal(dense, 1e-12) {
+			t.Fatalf("kernel %d: sparse adjoint multiply differs from dense", ki)
+		}
+	}
+}
+
+func TestDenseDoubleFlipIdentity(t *testing.T) {
+	cfg := testConfig(64, 3)
+	bank, err := NewBank(cfg, 0, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := bank.Kernels[0]
+	a := k.Dense(64)
+	flip := k.DenseFlip(64)
+	back := grid.NewCField(64, 64)
+	back.FlipInto(flip)
+	if !back.Equal(a, 0) {
+		t.Fatal("double flip must restore the spectrum")
+	}
+}
+
+func TestKernelBoxFitsRadius(t *testing.T) {
+	cfg := testConfig(128, 4)
+	bank, err := NewBank(cfg, 0, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ki, k := range bank.Kernels {
+		if k.Box.W != 2*k.R+1 || k.Box.H != 2*k.R+1 {
+			t.Fatalf("kernel %d: box %dx%d does not match R=%d", ki, k.Box.W, k.Box.H, k.R)
+		}
+		// Energy must be concentrated strictly inside the box rim (the
+		// rolloff margin rows should be zero).
+		side := 2*k.R + 1
+		for i := 0; i < side; i++ {
+			if cmplx.Abs(k.Box.At(i, 0)) != 0 || cmplx.Abs(k.Box.At(0, i)) != 0 {
+				t.Fatalf("kernel %d: energy on box rim", ki)
+			}
+		}
+	}
+}
+
+func TestBoxRadiusClampedToGrid(t *testing.T) {
+	cfg := testConfig(16, 1)
+	// The 16-px grid cannot hold the full pupil box: it must clamp.
+	if r := cfg.boxRadius(); r > 16/2-1 {
+		t.Fatalf("box radius %d exceeds clamp", r)
+	}
+}
+
+func TestKernelRejectsOversizedGrid(t *testing.T) {
+	cfg := testConfig(128, 1)
+	bank, err := NewBank(cfg, 0, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := bank.Kernels[0]
+	small := grid.NewCField(8, 8) // smaller than the kernel box
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized grid accepted")
+		}
+	}()
+	k.MulInto(small, small.Clone())
+}

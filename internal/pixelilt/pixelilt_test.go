@@ -1,0 +1,233 @@
+package pixelilt
+
+import (
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+	"lsopc/internal/litho"
+)
+
+func newTestSim(t *testing.T, kernels int) *litho.Simulator {
+	t.Helper()
+	cfg := litho.DefaultConfig(64, 32)
+	cfg.Optics.Kernels = kernels
+	s, err := litho.NewSimulator(cfg, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rectTarget(n, w, h int) *grid.Field {
+	f := grid.NewField(n, n)
+	x0, y0 := (n-w)/2, (n-h)/2
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	return f
+}
+
+func TestVariantNames(t *testing.T) {
+	names := map[Variant]string{
+		MosaicFast:  "MOSAIC_fast",
+		MosaicExact: "MOSAIC_exact",
+		RobustOPC:   "robust OPC",
+		PVOPC:       "PVOPC",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("%d: name %q, want %q", v, v.String(), want)
+		}
+	}
+	if Variant(42).String() != "Variant(42)" {
+		t.Error("unknown variant formatting")
+	}
+	if len(Variants) != 4 {
+		t.Error("Variants list incomplete")
+	}
+}
+
+func TestDefaultOptionsValid(t *testing.T) {
+	for _, v := range Variants {
+		if err := DefaultOptions(v).Validate(); err != nil {
+			t.Errorf("%v: invalid defaults: %v", v, err)
+		}
+	}
+}
+
+func TestOptionsValidateRejects(t *testing.T) {
+	bad := []func(*Options){
+		func(o *Options) { o.MaxIter = 0 },
+		func(o *Options) { o.StepSize = 0 },
+		func(o *Options) { o.MaskSteepness = -1 },
+		func(o *Options) { o.PVBWeight = -1 },
+		func(o *Options) { o.NominalPhase = 1.5 },
+	}
+	for i, mut := range bad {
+		o := DefaultOptions(MosaicExact)
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCornerPlanSchedules(t *testing.T) {
+	// MOSAIC_fast cycles one corner per iteration.
+	fast := DefaultOptions(MosaicFast)
+	for i := 0; i < 6; i++ {
+		corners, _ := fast.cornerPlan(i)
+		if len(corners) != 1 {
+			t.Fatalf("fast iter %d simulates %d corners", i, len(corners))
+		}
+	}
+	c0, _ := fast.cornerPlan(0)
+	c1, _ := fast.cornerPlan(1)
+	c2, _ := fast.cornerPlan(2)
+	if c0[0] != litho.Nominal || c1[0] != litho.Outer || c2[0] != litho.Inner {
+		t.Fatal("fast cycle order wrong")
+	}
+
+	// MOSAIC_exact simulates all three corners always.
+	exact := DefaultOptions(MosaicExact)
+	corners, weights := exact.cornerPlan(7)
+	if len(corners) != 3 || weights[0] != 1 {
+		t.Fatal("exact plan wrong")
+	}
+
+	// Robust OPC never simulates the nominal corner.
+	robust := DefaultOptions(RobustOPC)
+	for i := 0; i < 4; i++ {
+		corners, _ := robust.cornerPlan(i)
+		for _, c := range corners {
+			if c == litho.Nominal {
+				t.Fatal("robust OPC must not simulate the nominal corner")
+			}
+		}
+		if len(corners) != 2 {
+			t.Fatal("robust OPC must simulate exactly 2 corners")
+		}
+	}
+
+	// PVOPC: nominal-only early, full late.
+	pv := DefaultOptions(PVOPC)
+	early, _ := pv.cornerPlan(0)
+	late, _ := pv.cornerPlan(pv.MaxIter - 1)
+	if len(early) != 1 || early[0] != litho.Nominal {
+		t.Fatal("PVOPC phase 1 must be nominal-only")
+	}
+	if len(late) != 3 {
+		t.Fatal("PVOPC phase 2 must simulate all corners")
+	}
+}
+
+func TestOptimizeReducesCostAllVariants(t *testing.T) {
+	target := rectTarget(64, 24, 16)
+	for _, v := range Variants {
+		sim := newTestSim(t, 3)
+		opts := DefaultOptions(v)
+		opts.MaxIter = 12
+		res, err := Optimize(sim, target, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Iterations != 12 {
+			t.Fatalf("%v: iterations %d", v, res.Iterations)
+		}
+		// Compare like-for-like iterations (same corner plan) at the
+		// start and near the end of the schedule.
+		var first, last float64 = -1, -1
+		for _, h := range res.History {
+			c, _ := opts.cornerPlan(h.Iter)
+			c0, _ := opts.cornerPlan(0)
+			if len(c) == len(c0) && c[0] == c0[0] {
+				if first < 0 {
+					first = h.Cost
+				}
+				last = h.Cost
+			}
+		}
+		if !(last < first) {
+			t.Errorf("%v: cost did not decrease (%g → %g)", v, first, last)
+		}
+		// Mask sanity.
+		for _, m := range res.Mask.Data {
+			if m != 0 && m != 1 {
+				t.Fatalf("%v: non-binary mask value %g", v, m)
+			}
+		}
+		if res.Mask.Sum() == 0 {
+			t.Fatalf("%v: empty mask", v)
+		}
+	}
+}
+
+func TestCornerSimAccounting(t *testing.T) {
+	target := rectTarget(64, 20, 20)
+	sim := newTestSim(t, 2)
+
+	fast := DefaultOptions(MosaicFast)
+	fast.MaxIter = 9
+	rf, err := Optimize(sim, target, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.CornerSims != 9 {
+		t.Fatalf("fast corner sims = %d, want 9", rf.CornerSims)
+	}
+
+	exact := DefaultOptions(MosaicExact)
+	exact.MaxIter = 9
+	re, err := Optimize(sim, target, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.CornerSims != 27 {
+		t.Fatalf("exact corner sims = %d, want 27", re.CornerSims)
+	}
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	sim := newTestSim(t, 2)
+	if _, err := Optimize(sim, grid.NewField(32, 32), DefaultOptions(MosaicFast)); err == nil {
+		t.Fatal("mismatched target accepted")
+	}
+	o := DefaultOptions(MosaicFast)
+	o.MaxIter = 0
+	if _, err := Optimize(sim, rectTarget(64, 8, 8), o); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	target := rectTarget(64, 24, 12)
+	opts := DefaultOptions(PVOPC)
+	opts.MaxIter = 8
+	a, err := Optimize(newTestSim(t, 2), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(newTestSim(t, 2), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mask.Equal(b.Mask, 0) || !a.Gray.Equal(b.Gray, 0) {
+		t.Fatal("baseline optimization must be deterministic")
+	}
+}
+
+func TestGrayMaskConsistentWithBinary(t *testing.T) {
+	target := rectTarget(64, 20, 14)
+	res, err := Optimize(newTestSim(t, 2), target, DefaultOptions(MosaicFast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Gray.Data {
+		if (res.Gray.Data[i] > 0.5) != (res.Mask.Data[i] == 1) {
+			t.Fatal("binary mask must be the gray mask thresholded at 1/2")
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package procwin provides full process-window analysis on top of the
+// forward lithography model: Bossung curves (printed critical dimension
+// versus focus, one curve per dose), CD-through-window matrices, and the
+// process-window yield metric (the fraction of focus×dose conditions
+// keeping CD within tolerance).
+//
+// The paper evaluates robustness only through the PV band at the two
+// extreme corners; this package generalises that to the dense
+// focus/dose matrix a lithographer would actually inspect, and is used
+// by the processwindow example and the pw CLI. Sparse kernel boxes make
+// the per-focus kernel banks cheap to construct.
+package procwin
+
+import (
+	"fmt"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/fft"
+	"lsopc/internal/grid"
+	"lsopc/internal/litho"
+	"lsopc/internal/optics"
+)
+
+// Config parameterises the sweep matrix.
+type Config struct {
+	Litho litho.Config
+	// FocusMaxNM sweeps defocus over [0, +FocusMaxNM] in FocusSteps
+	// steps (defocus is symmetric in this scalar model, so negative
+	// focus repeats the positive branch).
+	FocusMaxNM float64
+	FocusSteps int
+	// DoseDelta sweeps dose over [1−DoseDelta, 1+DoseDelta] in
+	// DoseSteps steps.
+	DoseDelta float64
+	DoseSteps int
+}
+
+// DefaultConfig covers the contest's process window (±25 nm focus,
+// ±2 % dose) with a 6×5 matrix.
+func DefaultConfig(l litho.Config) Config {
+	return Config{
+		Litho:      l,
+		FocusMaxNM: 25,
+		FocusSteps: 6,
+		DoseDelta:  0.02,
+		DoseSteps:  5,
+	}
+}
+
+// Validate checks the sweep configuration.
+func (c Config) Validate() error {
+	if err := c.Litho.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.FocusMaxNM < 0:
+		return fmt.Errorf("procwin: focus range must be ≥ 0, got %g", c.FocusMaxNM)
+	case c.FocusSteps < 1 || c.DoseSteps < 1:
+		return fmt.Errorf("procwin: need at least one focus and dose step")
+	case c.DoseDelta < 0 || c.DoseDelta >= 1:
+		return fmt.Errorf("procwin: dose delta must be in [0,1), got %g", c.DoseDelta)
+	}
+	return nil
+}
+
+// CutLine selects where CD is measured: the printed run length through
+// pixel (X, Y) along the given axis.
+type CutLine struct {
+	X, Y       int
+	Horizontal bool // true: measure width along X; false: along Y
+}
+
+// Point is one matrix sample.
+type Point struct {
+	DefocusNM float64
+	Dose      float64
+	CDNM      float64 // printed critical dimension at the cut (0 = feature lost)
+}
+
+// Result is a full sweep outcome.
+type Result struct {
+	Points   []Point
+	TargetCD float64 // CD at nominal conditions
+}
+
+// Analyzer owns the per-focus kernel banks and scratch. Not safe for
+// concurrent use.
+type Analyzer struct {
+	cfg    Config
+	eng    *engine.Engine
+	plan   *fft.Plan2D
+	banks  []*optics.Bank // one per focus step
+	focus  []float64
+	field  *grid.CField
+	aerial *grid.Field
+}
+
+// New builds an analyzer, synthesising one kernel bank per focus step.
+func New(cfg Config, eng *engine.Engine) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		eng = engine.CPU()
+	}
+	n := cfg.Litho.Optics.GridSize
+	a := &Analyzer{
+		cfg:    cfg,
+		eng:    eng,
+		plan:   fft.NewPlan2D(n, n, eng),
+		field:  grid.NewCField(n, n),
+		aerial: grid.NewField(n, n),
+	}
+	for i := 0; i < cfg.FocusSteps; i++ {
+		var f float64
+		if cfg.FocusSteps > 1 {
+			f = cfg.FocusMaxNM * float64(i) / float64(cfg.FocusSteps-1)
+		}
+		bank, err := optics.NewBank(cfg.Litho.Optics, f, eng)
+		if err != nil {
+			return nil, err
+		}
+		a.banks = append(a.banks, bank)
+		a.focus = append(a.focus, f)
+	}
+	return a, nil
+}
+
+// FocusValues returns the swept defocus values in nm.
+func (a *Analyzer) FocusValues() []float64 {
+	out := make([]float64, len(a.focus))
+	copy(out, a.focus)
+	return out
+}
+
+// DoseValues returns the swept dose factors.
+func (a *Analyzer) DoseValues() []float64 {
+	out := make([]float64, a.cfg.DoseSteps)
+	for i := range out {
+		if a.cfg.DoseSteps == 1 {
+			out[i] = 1
+			continue
+		}
+		t := float64(i) / float64(a.cfg.DoseSteps-1)
+		out[i] = 1 - a.cfg.DoseDelta + 2*a.cfg.DoseDelta*t
+	}
+	return out
+}
+
+// aerialAt computes the unit-dose aerial image for focus index fi.
+func (a *Analyzer) aerialAt(maskSpec *grid.CField, fi int) {
+	bank := a.banks[fi]
+	a.aerial.Zero()
+	for _, k := range bank.Kernels {
+		k.MulInto(a.field, maskSpec)
+		a.plan.Inverse(a.field)
+		a.field.AccumAbsSq(a.aerial, k.Weight)
+	}
+}
+
+// measureCD returns the printed run length (nm) through the cut on the
+// thresholded image I·dose ≥ I_th.
+func (a *Analyzer) measureCD(dose float64, cut CutLine) float64 {
+	th := a.cfg.Litho.Threshold / dose
+	n := a.aerial.W
+	if cut.X < 0 || cut.X >= n || cut.Y < 0 || cut.Y >= a.aerial.H {
+		return 0
+	}
+	on := func(x, y int) bool { return a.aerial.At(x, y) >= th }
+	if !on(cut.X, cut.Y) {
+		return 0
+	}
+	count := 1
+	if cut.Horizontal {
+		for x := cut.X - 1; x >= 0 && on(x, cut.Y); x-- {
+			count++
+		}
+		for x := cut.X + 1; x < n && on(x, cut.Y); x++ {
+			count++
+		}
+	} else {
+		for y := cut.Y - 1; y >= 0 && on(cut.X, y); y-- {
+			count++
+		}
+		for y := cut.Y + 1; y < a.aerial.H && on(cut.X, y); y++ {
+			count++
+		}
+	}
+	return float64(count) * a.cfg.Litho.Optics.PixelNM
+}
+
+// Sweep measures the CD at the cut across the full focus×dose matrix.
+func (a *Analyzer) Sweep(mask *grid.Field, cut CutLine) (*Result, error) {
+	n := a.cfg.Litho.Optics.GridSize
+	if mask.W != n || mask.H != n {
+		return nil, fmt.Errorf("procwin: mask %dx%d does not match grid %d", mask.W, mask.H, n)
+	}
+	spec := grid.NewCField(n, n)
+	spec.SetReal(mask)
+	a.plan.Forward(spec)
+
+	res := &Result{}
+	doses := a.DoseValues()
+	for fi := range a.banks {
+		a.aerialAt(spec, fi)
+		for _, d := range doses {
+			res.Points = append(res.Points, Point{
+				DefocusNM: a.focus[fi],
+				Dose:      d,
+				CDNM:      a.measureCD(d, cut),
+			})
+		}
+		if fi == 0 {
+			res.TargetCD = a.measureCD(1, cut)
+		}
+	}
+	return res, nil
+}
+
+// WindowYield returns the fraction of matrix points whose CD stays
+// within ±tolFrac of targetCD (0 targetCD yields 0).
+func (r *Result) WindowYield(targetCD, tolFrac float64) float64 {
+	if targetCD <= 0 || len(r.Points) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, p := range r.Points {
+		dev := p.CDNM/targetCD - 1
+		if dev >= -tolFrac && dev <= tolFrac {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(r.Points))
+}
+
+// Bossung groups the sweep into per-dose focus curves for plotting.
+func (r *Result) Bossung() map[float64][]Point {
+	out := make(map[float64][]Point)
+	for _, p := range r.Points {
+		out[p.Dose] = append(out[p.Dose], p)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+
+	"lsopc/internal/grid"
+)
+
+// WritePNG writes f as an 8-bit grayscale PNG, mapping [lo, hi] to
+// 0…255 with clamping.
+func WritePNG(w io.Writer, f *grid.Field, lo, hi float64) error {
+	if hi <= lo {
+		return fmt.Errorf("render: invalid range [%g,%g]", lo, hi)
+	}
+	img := image.NewGray(image.Rect(0, 0, f.W, f.H))
+	scale := 255 / (hi - lo)
+	for y := 0; y < f.H; y++ {
+		row := f.Row(y)
+		for x := 0; x < f.W; x++ {
+			p := (row[x] - lo) * scale
+			if p < 0 {
+				p = 0
+			}
+			if p > 255 {
+				p = 255
+			}
+			img.SetGray(x, y, color.Gray{Y: uint8(p + 0.5)})
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// SavePNG writes f to the named file as PNG.
+func SavePNG(path string, f *grid.Field, lo, hi float64) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	defer file.Close()
+	if err := WritePNG(file, f, lo, hi); err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+// WriteComparisonPNG renders target-vs-printed as a colour image:
+// grey background, white match, red missing (target only), blue extra
+// (printed only).
+func WriteComparisonPNG(w io.Writer, target, printed *grid.Field) error {
+	if !target.SameShape(printed) {
+		return fmt.Errorf("render: comparison shapes differ")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, target.W, target.H))
+	for y := 0; y < target.H; y++ {
+		for x := 0; x < target.W; x++ {
+			t := target.At(x, y) > 0.5
+			p := printed.At(x, y) > 0.5
+			var c color.RGBA
+			switch {
+			case t && p:
+				c = color.RGBA{255, 255, 255, 255}
+			case t && !p:
+				c = color.RGBA{220, 50, 47, 255} // missing: red
+			case !t && p:
+				c = color.RGBA{38, 139, 210, 255} // extra: blue
+			default:
+				c = color.RGBA{30, 30, 30, 255}
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// SaveComparisonPNG writes the target-vs-printed comparison to a file.
+func SaveComparisonPNG(path string, target, printed *grid.Field) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	defer file.Close()
+	if err := WriteComparisonPNG(file, target, printed); err != nil {
+		return err
+	}
+	return file.Close()
+}

@@ -1,0 +1,90 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"path/filepath"
+	"testing"
+
+	"lsopc/internal/grid"
+)
+
+func TestWritePNGDecodes(t *testing.T) {
+	f := grid.NewField(8, 6)
+	f.Set(3, 2, 1)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, f, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 8 || b.Dy() != 6 {
+		t.Fatalf("decoded size %dx%d", b.Dx(), b.Dy())
+	}
+	r, _, _, _ := img.At(3, 2).RGBA()
+	if r != 0xffff {
+		t.Fatalf("set pixel luma %d", r)
+	}
+	r, _, _, _ = img.At(0, 0).RGBA()
+	if r != 0 {
+		t.Fatalf("clear pixel luma %d", r)
+	}
+}
+
+func TestWritePNGBadRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, grid.NewField(2, 2), 1, 1); err == nil {
+		t.Fatal("degenerate range accepted")
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.png")
+	if err := SavePNG(path, grid.NewField(4, 4), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPGM(path); err == nil {
+		t.Fatal("PNG should not parse as PGM (sanity)")
+	}
+}
+
+func TestComparisonPNGColours(t *testing.T) {
+	target := grid.FieldFromData(2, 2, []float64{1, 1, 0, 0})
+	printed := grid.FieldFromData(2, 2, []float64{1, 0, 1, 0})
+	var buf bytes.Buffer
+	if err := WriteComparisonPNG(&buf, target, printed); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,0) match → white; (1,0) missing → red-ish; (0,1) extra → blue-ish.
+	r, g, b, _ := img.At(0, 0).RGBA()
+	if r != 0xffff || g != 0xffff || b != 0xffff {
+		t.Fatal("match pixel not white")
+	}
+	r, g, _, _ = img.At(1, 0).RGBA()
+	if r < 0x8000 || g > 0x8000 {
+		t.Fatal("missing pixel not red")
+	}
+	_, _, b, _ = img.At(0, 1).RGBA()
+	if b < 0x8000 {
+		t.Fatal("extra pixel not blue")
+	}
+	// Shape mismatch rejected.
+	if err := WriteComparisonPNG(&buf, target, grid.NewField(3, 3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestSaveComparisonPNG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cmp.png")
+	f := grid.NewField(4, 4)
+	if err := SaveComparisonPNG(path, f, f); err != nil {
+		t.Fatal(err)
+	}
+}

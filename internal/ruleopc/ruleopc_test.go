@@ -1,0 +1,121 @@
+package ruleopc
+
+import (
+	"testing"
+
+	"lsopc/internal/grid"
+)
+
+func rectMask(n, x0, y0, x1, y1 int) *grid.Field {
+	f := grid.NewField(n, n)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	return f
+}
+
+func TestBiasGrowsMask(t *testing.T) {
+	m := rectMask(64, 20, 20, 40, 40)
+	out, err := Apply(m, Options{BiasPx: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sum() <= m.Sum() {
+		t.Fatal("positive bias must grow the mask")
+	}
+	// Original pixels retained.
+	for i := range m.Data {
+		if m.Data[i] == 1 && out.Data[i] != 1 {
+			t.Fatal("bias dropped original pixels")
+		}
+	}
+	// Two-pixel dilation of a 20×20 square: edges move out by 2 on each
+	// side along the axes.
+	if out.At(18, 30) != 1 || out.At(41, 30) != 1 || out.At(30, 18) != 1 {
+		t.Fatal("axis dilation wrong")
+	}
+	if out.At(15, 30) != 0 {
+		t.Fatal("dilation overshot")
+	}
+}
+
+func TestNegativeBiasShrinks(t *testing.T) {
+	m := rectMask(64, 20, 20, 40, 40)
+	out, err := Apply(m, Options{BiasPx: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sum() >= m.Sum() {
+		t.Fatal("negative bias must shrink the mask")
+	}
+	if out.At(20, 30) != 0 || out.At(30, 30) != 1 {
+		t.Fatal("erosion shape wrong")
+	}
+}
+
+func TestSerifsAtConvexCorners(t *testing.T) {
+	m := rectMask(64, 24, 24, 40, 40)
+	corners := convexCorners(m)
+	if len(corners) != 4 {
+		t.Fatalf("square has %d convex corners, want 4", len(corners))
+	}
+	out, err := Apply(m, Options{SerifPx: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serif material outside the original corner.
+	if out.At(22, 22) != 1 || out.At(42, 42) != 1 {
+		t.Fatal("corner serifs missing")
+	}
+	// Mid-edge must not gain serif material (only 4 corners).
+	if out.At(32, 21) != 0 {
+		t.Fatal("serif leaked onto edge")
+	}
+}
+
+func TestConcaveCornerGetsNoSerif(t *testing.T) {
+	// L-shape: 5 convex corners + 1 concave.
+	m := rectMask(64, 20, 20, 28, 44)
+	for y := 36; y < 44; y++ {
+		for x := 28; x < 44; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	corners := convexCorners(m)
+	if len(corners) != 5 {
+		t.Fatalf("L has %d convex corners, want 5", len(corners))
+	}
+}
+
+func TestSerifClampsAtBorder(t *testing.T) {
+	m := rectMask(16, 0, 0, 4, 4)
+	if _, err := Apply(m, Options{SerifPx: 8}); err != nil {
+		t.Fatal(err) // must not panic at the grid border
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Options{SerifPx: -1}).Validate(); err == nil {
+		t.Fatal("negative serif accepted")
+	}
+	if _, err := Apply(grid.NewField(8, 8), Options{SerifPx: -2}); err == nil {
+		t.Fatal("Apply accepted invalid options")
+	}
+	o := DefaultOptions(4)
+	if o.BiasPx != 2.5 || o.SerifPx != 8 {
+		t.Fatalf("default recipe %+v", o)
+	}
+}
+
+func TestZeroOptionsIdentityBias(t *testing.T) {
+	m := rectMask(32, 10, 10, 22, 22)
+	out, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(m, 0) {
+		t.Fatal("zero recipe must reproduce the target")
+	}
+}

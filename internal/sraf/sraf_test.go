@@ -1,0 +1,164 @@
+package sraf
+
+import (
+	"math"
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+	"lsopc/internal/levelset"
+	"lsopc/internal/litho"
+)
+
+func rectMask(n, x0, y0, x1, y1 int) *grid.Field {
+	f := grid.NewField(n, n)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultOptions(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{DistancePx: 0, WidthPx: 2},
+		{DistancePx: 3, WidthPx: 0},
+		{DistancePx: 3, WidthPx: 2, MinRunPx: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d accepted", i)
+		}
+	}
+	if _, err := Generate(grid.NewField(8, 8), Options{}); err == nil {
+		t.Fatal("Generate accepted invalid options")
+	}
+}
+
+func TestRingGeometry(t *testing.T) {
+	m := rectMask(96, 40, 40, 56, 56)
+	bars, err := Generate(m, Options{DistancePx: 4, WidthPx: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bars.Sum() == 0 {
+		t.Fatal("no SRAF generated")
+	}
+	// SRAF must not touch the target and must respect the distance band.
+	psi := levelset.SignedDistance(m)
+	for i, v := range bars.Data {
+		if v <= 0.5 {
+			continue
+		}
+		if m.Data[i] > 0.5 {
+			t.Fatal("SRAF overlaps the target")
+		}
+		if psi.Data[i] < 4-1e-9 || psi.Data[i] >= 7 {
+			t.Fatalf("SRAF pixel at distance %g outside [4,7)", psi.Data[i])
+		}
+	}
+	// Directly left of the feature at the band distance: bar present.
+	if bars.At(40-5, 48) != 1 {
+		t.Fatal("left assist bar missing")
+	}
+}
+
+func TestAddUnionsTargetAndBars(t *testing.T) {
+	m := rectMask(96, 40, 40, 56, 56)
+	assisted, err := Add(m, Options{DistancePx: 4, WidthPx: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if m.Data[i] > 0.5 && assisted.Data[i] != 1 {
+			t.Fatal("Add lost target pixels")
+		}
+	}
+	if assisted.Sum() <= m.Sum() {
+		t.Fatal("Add produced no bars")
+	}
+}
+
+func TestPruneFragments(t *testing.T) {
+	m := grid.NewField(64, 64)
+	// One long bar and one tiny fragment.
+	for x := 10; x < 40; x++ {
+		m.Set(x, 20, 1)
+	}
+	m.Set(50, 50, 1)
+	m.Set(51, 50, 1)
+	pruneFragments(m, 8)
+	if m.At(20, 20) != 1 {
+		t.Fatal("long bar pruned")
+	}
+	if m.At(50, 50) != 0 || m.At(51, 50) != 0 {
+		t.Fatal("tiny fragment survived")
+	}
+}
+
+// TestSRAFsDoNotPrint is the physical requirement: with the default
+// sub-resolution recipe, the assist bars alone must print nothing at any
+// process corner.
+func TestSRAFsDoNotPrint(t *testing.T) {
+	cfg := litho.DefaultConfig(128, 16)
+	cfg.Optics.Kernels = 4
+	sim, err := litho.NewSimulator(cfg, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A realistic isolated feature (512 nm square) with default SRAFs.
+	m := rectMask(128, 48, 48, 80, 80)
+	bars, err := Generate(m, DefaultOptions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bars.Sum() == 0 {
+		t.Skip("recipe produced no bars at this pitch")
+	}
+	spec := sim.MaskSpectrum(bars)
+	printed := grid.NewField(128, 128)
+	for _, cond := range litho.AllConditions {
+		sim.PrintedBinary(printed, spec, cond)
+		if printed.Sum() != 0 {
+			t.Fatalf("%v: SRAF-only mask printed %g pixels", cond, printed.Sum())
+		}
+	}
+}
+
+// TestSRAFImproveDefocusStability measures the intended optical effect:
+// the assisted mask's printed feature should lose no more area under
+// defocus than the bare mask's.
+func TestSRAFImproveDefocusStability(t *testing.T) {
+	cfg := litho.DefaultConfig(128, 16)
+	cfg.Optics.Kernels = 6
+	sim, err := litho.NewSimulator(cfg, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rectMask(128, 56, 40, 64, 88) // isolated 128 nm-wide line
+	assisted, err := Add(m, DefaultOptions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loss := func(mask *grid.Field) float64 {
+		spec := sim.MaskSpectrum(mask)
+		nom := grid.NewField(128, 128)
+		def := grid.NewField(128, 128)
+		sim.PrintedBinary(nom, spec, litho.Nominal)
+		sim.PrintedBinary(def, spec, litho.Inner)
+		if nom.Sum() == 0 {
+			return math.Inf(1)
+		}
+		return (nom.Sum() - def.Sum()) / nom.Sum()
+	}
+	bare := loss(m)
+	helped := loss(assisted)
+	if helped > bare+0.10 {
+		t.Fatalf("SRAFs worsened defocus loss: bare %.3f vs assisted %.3f", bare, helped)
+	}
+}

@@ -1,0 +1,116 @@
+package lsopc
+
+import (
+	"io"
+	"os"
+
+	"lsopc/internal/gds"
+	"lsopc/internal/geom"
+)
+
+// Geometry re-exports so custom layouts can be built against this
+// package alone.
+type (
+	// Point is an integer nm coordinate pair.
+	Point = geom.Point
+	// Rect is a half-open axis-aligned rectangle [X0,X1)×[Y0,Y1).
+	Rect = geom.Rect
+	// Polygon is a closed rectilinear polygon.
+	Polygon = geom.Polygon
+)
+
+// NewRect returns a rectangle with normalised corner order.
+func NewRect(x0, y0, x1, y1 int) Rect { return geom.NewRect(x0, y0, x1, y1) }
+
+// NewPolygon builds a rectilinear polygon from its vertex list (without
+// repeating the first vertex).
+func NewPolygon(pts ...Point) Polygon { return geom.NewPolygon(pts...) }
+
+// NewLayout creates an empty named layout on a w×h nm canvas. Add shapes
+// to Rects/Polys, then Validate before use.
+func NewLayout(name string, w, h int) *Layout {
+	return &Layout{Name: name, W: w, H: h}
+}
+
+// ParseGLP reads a layout from GLP text (see README for the format).
+func ParseGLP(r io.Reader) (*Layout, error) { return geom.ParseGLP(r) }
+
+// WriteGLP serialises a layout as GLP text.
+func WriteGLP(w io.Writer, l *Layout) error { return geom.WriteGLP(w, l) }
+
+// LoadGLP reads and validates a GLP layout file.
+func LoadGLP(path string) (*Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := geom.ParseGLP(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// SaveGLP writes a layout to a GLP file.
+func SaveGLP(path string, l *Layout) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := geom.WriteGLP(f, l); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// VectorizeMask converts a binary mask raster into an exact rectangle
+// partition in nm coordinates (see geom.VectorizeMask). Rasterising the
+// result at the same pitch reproduces the mask bit-for-bit.
+func VectorizeMask(mask *Field, pitchNM int) []Rect {
+	return geom.VectorizeMask(mask, pitchNM)
+}
+
+// MaskToLayout wraps a vectorised mask as a named layout, ready for GLP
+// export.
+func MaskToLayout(name string, mask *Field, pitchNM int) *Layout {
+	return geom.MaskToLayout(name, mask, pitchNM)
+}
+
+// WriteGDS serialises a layout as a GDSII stream (nanometre database
+// units, one BOUNDARY per shape).
+func WriteGDS(w io.Writer, l *Layout) error { return gds.Write(w, l) }
+
+// ReadGDS parses a GDSII stream into a layout. canvasW/canvasH set the
+// canvas extent (≤ 0 auto-sizes to the geometry's bounding box).
+func ReadGDS(r io.Reader, canvasW, canvasH int) (*Layout, error) {
+	return gds.Read(r, canvasW, canvasH)
+}
+
+// SaveGDS writes a layout to a GDSII file.
+func SaveGDS(path string, l *Layout) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gds.Write(f, l); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadGDS reads a GDSII file into a layout with the given canvas extent
+// (≤ 0 auto-sizes).
+func LoadGDS(path string, canvasW, canvasH int) (*Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return gds.Read(f, canvasW, canvasH)
+}

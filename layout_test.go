@@ -1,0 +1,110 @@
+package lsopc
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewLayoutAndShapes(t *testing.T) {
+	l := NewLayout("custom", 2048, 2048)
+	l.Rects = append(l.Rects, NewRect(500, 500, 700, 900))
+	l.Polys = append(l.Polys, NewPolygon(
+		Point{X: 900, Y: 500}, Point{X: 1200, Y: 500}, Point{X: 1200, Y: 580},
+		Point{X: 980, Y: 580}, Point{X: 980, Y: 900}, Point{X: 900, Y: 900},
+	))
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 200*400 + (300*80 + 80*320)
+	if l.Area() != want {
+		t.Fatalf("area %d, want %d", l.Area(), want)
+	}
+}
+
+func TestGLPFacadeRoundTrip(t *testing.T) {
+	l := NewLayout("x", 256, 256)
+	l.Rects = append(l.Rects, NewRect(10, 10, 60, 60))
+	var buf bytes.Buffer
+	if err := WriteGLP(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseGLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area() != l.Area() {
+		t.Fatal("round trip changed area")
+	}
+}
+
+func TestLoadSaveGLPFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.glp")
+	l := NewLayout("a", 512, 512)
+	l.Rects = append(l.Rects, NewRect(100, 100, 200, 200))
+	if err := SaveGLP(path, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGLP(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "a" || got.Area() != 10000 {
+		t.Fatalf("loaded %+v", got)
+	}
+	// LoadGLP validates: an invalid file must be rejected.
+	bad := filepath.Join(dir, "bad.glp")
+	invalid := NewLayout("bad", 100, 100)
+	invalid.Rects = append(invalid.Rects, NewRect(50, 50, 200, 200)) // out of canvas
+	if err := SaveGLP(bad, invalid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGLP(bad); err == nil {
+		t.Fatal("invalid layout accepted by LoadGLP")
+	}
+	if _, err := LoadGLP(filepath.Join(dir, "missing.glp")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestVectorizeFacade(t *testing.T) {
+	mask := NewField(8, 8)
+	mask.Set(2, 2, 1)
+	mask.Set(3, 2, 1)
+	rects := VectorizeMask(mask, 2)
+	if len(rects) != 1 || rects[0] != NewRect(4, 4, 8, 6) {
+		t.Fatalf("rects %+v", rects)
+	}
+	l := MaskToLayout("m", mask, 2)
+	if l.W != 16 || l.Area() != 8 {
+		t.Fatalf("layout %+v area %d", l, l.Area())
+	}
+}
+
+func TestGDSFacadeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.gds")
+	l := NewLayout("x", 512, 512)
+	l.Rects = append(l.Rects, NewRect(100, 100, 200, 300))
+	if err := SaveGDS(path, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGDS(path, 512, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area() != l.Area() || got.Name != "x" {
+		t.Fatalf("GDS round trip: %+v", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteGDS(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGDS(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGDS(filepath.Join(dir, "missing.gds"), 0, 0); err == nil {
+		t.Fatal("missing GDS accepted")
+	}
+}

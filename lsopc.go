@@ -1,0 +1,349 @@
+// Package lsopc is the public API of the level-set ILT mask-optimization
+// library, a from-scratch Go reproduction of "A GPU-enabled Level Set
+// Method for Mask Optimization" (Yu, Chen, Ma, Yu — DATE 2021).
+//
+// The package ties the substrates together behind a Pipeline: pick a
+// Preset (resolution/quality trade-off), optimize a layout with the
+// paper's level-set method or one of the pixel-based baselines, and
+// evaluate the result with the ICCAD 2013 contest metrics.
+//
+//	pipe, _ := lsopc.NewPipeline(lsopc.PresetFast, lsopc.GPUEngine())
+//	layout := lsopc.Benchmark("B4")
+//	run, _ := pipe.OptimizeLevelSet(layout, lsopc.DefaultLevelSetOptions())
+//	fmt.Println(run.Report)
+package lsopc
+
+import (
+	"fmt"
+	"time"
+
+	"lsopc/internal/core"
+	"lsopc/internal/engine"
+	"lsopc/internal/geom"
+	"lsopc/internal/grid"
+	"lsopc/internal/layouts"
+	"lsopc/internal/litho"
+	"lsopc/internal/metrics"
+	"lsopc/internal/pixelilt"
+	"lsopc/internal/procwin"
+)
+
+// Re-exported types so downstream code only imports this package.
+type (
+	// Layout is a rectilinear design (see the GLP format in README).
+	Layout = geom.Layout
+	// Field is a dense 2-D image (masks, resist images, ψ).
+	Field = grid.Field
+	// Report carries the contest metrics of one evaluated mask.
+	Report = metrics.Report
+	// LevelSetOptions configures the paper's optimizer (Algorithm 1).
+	LevelSetOptions = core.Options
+	// LevelSetResult is the optimizer outcome with its history trace.
+	LevelSetResult = core.Result
+	// BaselineVariant selects a pixel-based baseline algorithm.
+	BaselineVariant = pixelilt.Variant
+	// Engine is the execution engine (CPU serial / GPU-style parallel).
+	Engine = engine.Engine
+	// BenchmarkSpec describes one ICCAD-2013-style benchmark.
+	BenchmarkSpec = layouts.Spec
+)
+
+// Baseline variants, re-exported.
+const (
+	MosaicFast  = pixelilt.MosaicFast
+	MosaicExact = pixelilt.MosaicExact
+	RobustOPC   = pixelilt.RobustOPC
+	PVOPC       = pixelilt.PVOPC
+)
+
+// CPUEngine returns the serial reference engine (the paper's CPU runs).
+func CPUEngine() *Engine { return engine.CPU() }
+
+// GPUEngine returns the parallel engine standing in for the paper's
+// CUDA acceleration (one worker per core; see DESIGN.md §4).
+func GPUEngine() *Engine { return engine.GPU() }
+
+// DefaultLevelSetOptions returns the paper's optimizer configuration.
+func DefaultLevelSetOptions() LevelSetOptions { return core.DefaultOptions() }
+
+// DefaultBaselineOptions returns the published schedule for a baseline.
+func DefaultBaselineOptions(v BaselineVariant) pixelilt.Options {
+	return pixelilt.DefaultOptions(v)
+}
+
+// Preset selects the simulation scale. All presets model the same
+// 2048×2048 nm field; they differ in pixel pitch, kernel count and
+// iteration budget (see EXPERIMENTS.md for the accuracy impact).
+type Preset int
+
+const (
+	// PresetTest: 128 px @ 16 nm, 4 kernels — unit-test scale.
+	PresetTest Preset = iota
+	// PresetFast: 512 px @ 4 nm, 8 kernels — the default experiment
+	// scale; a full benchmark optimizes in tens of seconds.
+	PresetFast
+	// PresetPaper: 2048 px @ 1 nm, 24 kernels — the contest's native
+	// scale used by the paper (minutes per benchmark per method).
+	PresetPaper
+)
+
+// String implements fmt.Stringer.
+func (p Preset) String() string {
+	switch p {
+	case PresetTest:
+		return "test"
+	case PresetFast:
+		return "fast"
+	case PresetPaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Preset(%d)", int(p))
+	}
+}
+
+// ParsePreset converts a flag string to a Preset.
+func ParsePreset(s string) (Preset, error) {
+	switch s {
+	case "test":
+		return PresetTest, nil
+	case "fast":
+		return PresetFast, nil
+	case "paper":
+		return PresetPaper, nil
+	}
+	return 0, fmt.Errorf("lsopc: unknown preset %q (want test|fast|paper)", s)
+}
+
+// params returns grid size, pixel pitch (nm) and kernel count.
+func (p Preset) params() (gridSize int, pixelNM float64, kernels int, err error) {
+	switch p {
+	case PresetTest:
+		return 128, 16, 4, nil
+	case PresetFast:
+		return 512, 4, 8, nil
+	case PresetPaper:
+		return 2048, 1, 24, nil
+	default:
+		return 0, 0, 0, fmt.Errorf("lsopc: invalid preset %d", int(p))
+	}
+}
+
+// Pipeline bundles a configured simulator with the matching metric
+// checkers. It owns simulator scratch and is not safe for concurrent
+// use; create one per goroutine.
+type Pipeline struct {
+	preset  Preset
+	eng     *engine.Engine
+	sim     *litho.Simulator
+	metrics metrics.Config
+}
+
+// NewPipeline builds a pipeline at the given preset on the given engine
+// (nil defaults to the serial CPU engine).
+func NewPipeline(p Preset, eng *Engine) (*Pipeline, error) {
+	gridSize, pixelNM, kernels, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		eng = engine.CPU()
+	}
+	cfg := litho.DefaultConfig(gridSize, pixelNM)
+	cfg.Optics.Kernels = kernels
+	sim, err := litho.NewSimulator(cfg, eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{preset: p, eng: eng, sim: sim, metrics: metrics.DefaultConfig(pixelNM)}, nil
+}
+
+// Preset returns the pipeline's preset.
+func (p *Pipeline) Preset() Preset { return p.preset }
+
+// Engine returns the pipeline's execution engine.
+func (p *Pipeline) Engine() *Engine { return p.eng }
+
+// Simulator exposes the underlying forward model for advanced use.
+func (p *Pipeline) Simulator() *litho.Simulator { return p.sim }
+
+// GridSize returns the simulation grid edge in pixels.
+func (p *Pipeline) GridSize() int { return p.sim.GridSize() }
+
+// PixelNM returns the simulation pixel pitch in nm.
+func (p *Pipeline) PixelNM() float64 { return p.sim.PixelNM() }
+
+// Target rasterises a layout onto the pipeline's simulation grid.
+func (p *Pipeline) Target(l *Layout) (*Field, error) {
+	pitch := int(p.sim.PixelNM())
+	if float64(pitch) != p.sim.PixelNM() {
+		return nil, fmt.Errorf("lsopc: non-integer pixel pitch %g", p.sim.PixelNM())
+	}
+	f, err := geom.Rasterize(l, pitch)
+	if err != nil {
+		return nil, err
+	}
+	if f.W != p.sim.GridSize() {
+		return nil, fmt.Errorf("lsopc: layout canvas %d nm does not match the %d-px grid at %d nm/px",
+			l.W, p.sim.GridSize(), pitch)
+	}
+	return f, nil
+}
+
+// RunResult is a complete optimize-and-evaluate outcome.
+type RunResult struct {
+	Method  string
+	Mask    *Field
+	Report  Report
+	Elapsed time.Duration
+	// LevelSet holds the optimizer trace when the level-set method ran
+	// (nil for baselines).
+	LevelSet *LevelSetResult
+	// Baseline holds the baseline trace when a baseline ran.
+	Baseline *pixelilt.Result
+}
+
+// OptimizeLevelSet runs the paper's optimizer on the layout and
+// evaluates the resulting mask.
+func (p *Pipeline) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult, error) {
+	target, err := p.Target(l)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := core.New(p.sim, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := opt.Run()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	report, err := p.Evaluate(l, res.Mask, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Method:   "level-set",
+		Mask:     res.Mask,
+		Report:   report,
+		Elapsed:  elapsed,
+		LevelSet: res,
+	}, nil
+}
+
+// OptimizeBaseline runs one of the pixel-based comparison methods.
+func (p *Pipeline) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult, error) {
+	target, err := p.Target(l)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := pixelilt.Optimize(p.sim, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	report, err := p.Evaluate(l, res.Mask, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Method:   opts.Variant.String(),
+		Mask:     res.Mask,
+		Report:   report,
+		Elapsed:  elapsed,
+		Baseline: res,
+	}, nil
+}
+
+// Evaluate measures a mask against a layout with the contest checkers:
+// EPE at the nominal corner, PV band across the outer/inner corners,
+// shape violations, and the Eq. 18 score with the given runtime.
+func (p *Pipeline) Evaluate(l *Layout, mask *Field, elapsed time.Duration) (Report, error) {
+	n := p.sim.GridSize()
+	if mask.W != n || mask.H != n {
+		return Report{}, fmt.Errorf("lsopc: mask %dx%d does not match grid %d", mask.W, mask.H, n)
+	}
+	target, err := p.Target(l)
+	if err != nil {
+		return Report{}, err
+	}
+	spec := p.sim.MaskSpectrum(mask)
+
+	printed := grid.NewField(n, n)
+	outer := grid.NewField(n, n)
+	inner := grid.NewField(n, n)
+	p.sim.PrintedBinary(printed, spec, litho.Nominal)
+	p.sim.PrintedBinary(outer, spec, litho.Outer)
+	p.sim.PrintedBinary(inner, spec, litho.Inner)
+
+	probes := metrics.Probes(l, p.metrics.EPESpacingNM)
+	epe, _ := metrics.EPE(printed, probes, p.metrics)
+	return Report{
+		EPEViolations:   epe,
+		PVBandNM2:       metrics.PVBand(outer, inner, p.sim.PixelNM()),
+		ShapeViolations: metrics.ShapeViolations(printed, target),
+		RuntimeSec:      elapsed.Seconds(),
+	}, nil
+}
+
+// PrintedImages returns the binary printed images at the three corners
+// (nominal, outer, inner) for visualisation.
+func (p *Pipeline) PrintedImages(mask *Field) (nominal, outer, inner *Field) {
+	n := p.sim.GridSize()
+	spec := p.sim.MaskSpectrum(mask)
+	nominal = grid.NewField(n, n)
+	outer = grid.NewField(n, n)
+	inner = grid.NewField(n, n)
+	p.sim.PrintedBinary(nominal, spec, litho.Nominal)
+	p.sim.PrintedBinary(outer, spec, litho.Outer)
+	p.sim.PrintedBinary(inner, spec, litho.Inner)
+	return nominal, outer, inner
+}
+
+// Benchmarks returns the ten ICCAD-2013-style benchmark specs (B1…B10).
+func Benchmarks() []BenchmarkSpec { return layouts.All() }
+
+// Benchmark builds the named benchmark layout (B1…B10), panicking on an
+// unknown id — use layouts.ByID via BenchmarkByID for error handling.
+func Benchmark(id string) *Layout {
+	s, err := layouts.ByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return s.MustBuild()
+}
+
+// BenchmarkByID builds the named benchmark layout, returning an error
+// for unknown ids.
+func BenchmarkByID(id string) (*Layout, error) {
+	s, err := layouts.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build()
+}
+
+// NewField allocates a zero w×h image field.
+func NewField(w, h int) *Field { return grid.NewField(w, h) }
+
+// Process-window analysis re-exports.
+type (
+	// ProcessWindowResult is a focus×dose CD sweep outcome.
+	ProcessWindowResult = procwin.Result
+	// CutLine selects where the critical dimension is measured.
+	CutLine = procwin.CutLine
+)
+
+// ProcessWindow sweeps the mask across the contest's focus/dose window
+// (±25 nm, ±2 %) on a 6×5 matrix and measures the printed CD at the cut
+// (Bossung-curve data). The sweep builds its own kernel banks and does
+// not disturb the pipeline's simulator state.
+func (p *Pipeline) ProcessWindow(mask *Field, cut CutLine) (*ProcessWindowResult, error) {
+	an, err := procwin.New(procwin.DefaultConfig(p.sim.Config()), p.eng)
+	if err != nil {
+		return nil, err
+	}
+	return an.Sweep(mask, cut)
+}

@@ -1,0 +1,41 @@
+package lsopc
+
+import (
+	"testing"
+
+	"lsopc/internal/litho"
+)
+
+// TestPaperPresetConstructionAndForward verifies contest-scale viability:
+// the 2048-px, 24-kernel pipeline must construct within a modest memory
+// envelope (sparse kernel boxes) and run one exact forward simulation.
+func TestPaperPresetConstructionAndForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale smoke skipped in -short mode")
+	}
+	pipe, err := NewPipeline(PresetPaper, GPUEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.GridSize() != 2048 || pipe.PixelNM() != 1 {
+		t.Fatalf("paper preset dims: %d px @ %g nm", pipe.GridSize(), pipe.PixelNM())
+	}
+	target, err := pipe.Target(Benchmark("B10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 1 nm/px the raster area must match Table I exactly.
+	if int(target.Sum()) != 102400 {
+		t.Fatalf("B10 raster area %d at contest scale", int(target.Sum()))
+	}
+	sim := pipe.Simulator()
+	spec := sim.MaskSpectrum(target)
+	aerial := NewField(2048, 2048)
+	sim.Aerial(aerial, spec, litho.Nominal)
+	if aerial.At(1024, 1024) < 0.225 {
+		t.Fatalf("B10 centre intensity %g below threshold at contest scale", aerial.At(1024, 1024))
+	}
+	if aerial.At(100, 100) > 0.05 {
+		t.Fatalf("background intensity %g too high", aerial.At(100, 100))
+	}
+}

@@ -1,0 +1,66 @@
+package lsopc
+
+import (
+	"lsopc/internal/metrics"
+	"lsopc/internal/mrc"
+	"lsopc/internal/ruleopc"
+	"lsopc/internal/sraf"
+)
+
+// Resolution-enhancement and manufacturability re-exports.
+type (
+	// MaskRules is a mask-shop rule set for MRC.
+	MaskRules = mrc.Rules
+	// MaskRuleViolation is one MRC failure with location and value.
+	MaskRuleViolation = mrc.Violation
+	// RuleOPCOptions configures rule-based OPC (edge bias + serifs).
+	RuleOPCOptions = ruleopc.Options
+	// SRAFOptions configures sub-resolution assist feature placement.
+	SRAFOptions = sraf.Options
+	// MaskComplexity carries the manufacturability counters of a mask.
+	MaskComplexity = metrics.MaskComplexity
+)
+
+// DefaultMaskRules returns a contest-era rule set at the given pixel
+// pitch (40 nm width/space, 3600 nm² area/hole).
+func DefaultMaskRules(pixelNM float64) MaskRules { return mrc.DefaultRules(pixelNM) }
+
+// CheckMaskRules runs mask rule checking on a binary mask.
+func CheckMaskRules(mask *Field, rules MaskRules) ([]MaskRuleViolation, error) {
+	return mrc.Check(mask, rules)
+}
+
+// DefaultRuleOPC returns the default rule-based OPC recipe at the given
+// pixel pitch (10 nm bias, 30 nm corner serifs).
+func DefaultRuleOPC(pixelNM float64) RuleOPCOptions { return ruleopc.DefaultOptions(pixelNM) }
+
+// RuleOPC applies rule-based OPC (Euclidean edge bias + convex-corner
+// serifs) to a target raster, returning the corrected mask.
+func RuleOPC(target *Field, opts RuleOPCOptions) (*Field, error) {
+	return ruleopc.Apply(target, opts)
+}
+
+// DefaultSRAF returns the default assist-feature recipe at the given
+// pixel pitch (60 nm gap, 32 nm bars).
+func DefaultSRAF(pixelNM float64) SRAFOptions { return sraf.DefaultOptions(pixelNM) }
+
+// GenerateSRAF returns the SRAF-only mask for a target raster.
+func GenerateSRAF(target *Field, opts SRAFOptions) (*Field, error) {
+	return sraf.Generate(target, opts)
+}
+
+// AddSRAF returns target ∪ SRAF — e.g. as a level-set warm start
+// (LevelSetOptions.InitialMask).
+func AddSRAF(target *Field, opts SRAFOptions) (*Field, error) {
+	return sraf.Add(target, opts)
+}
+
+// Complexity measures the manufacturability counters (islands, stains,
+// holes, perimeter, jogs) of a binary mask.
+func Complexity(mask *Field) MaskComplexity { return metrics.Complexity(mask) }
+
+// CleanupMask removes islands and fills enclosed holes smaller than
+// minPx pixels, in place; returns (#removed islands, #filled holes).
+func CleanupMask(mask *Field, minPx int) (int, int) {
+	return metrics.RemoveTinyFeatures(mask, minPx, minPx)
+}

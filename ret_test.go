@@ -1,0 +1,100 @@
+package lsopc
+
+import (
+	"testing"
+)
+
+func squareField(n, x0, y0, x1, y1 int) *Field {
+	f := NewField(n, n)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			f.Set(x, y, 1)
+		}
+	}
+	return f
+}
+
+func TestRuleOPCFacade(t *testing.T) {
+	target := squareField(128, 40, 40, 80, 80)
+	out, err := RuleOPC(target, DefaultRuleOPC(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sum() <= target.Sum() {
+		t.Fatal("rule OPC must add material (bias + serifs)")
+	}
+}
+
+func TestSRAFFacade(t *testing.T) {
+	target := squareField(128, 48, 48, 80, 80)
+	bars, err := GenerateSRAF(target, DefaultSRAF(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assisted, err := AddSRAF(target, DefaultSRAF(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assisted.Sum() != target.Sum()+bars.Sum() {
+		t.Fatal("AddSRAF must be the disjoint union of target and bars")
+	}
+}
+
+func TestMaskRulesFacade(t *testing.T) {
+	// A 2-px sliver at 16 nm/px = 32 nm: violates the 40 nm width rule.
+	sliver := squareField(64, 30, 10, 32, 54)
+	viols, err := CheckMaskRules(sliver, DefaultMaskRules(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) == 0 {
+		t.Fatal("sliver passed MRC")
+	}
+}
+
+func TestComplexityAndCleanupFacade(t *testing.T) {
+	m := squareField(64, 10, 10, 40, 40)
+	m.Set(60, 60, 1) // stain
+	c := Complexity(m)
+	if c.Islands != 2 || c.TinyIslands != 1 {
+		t.Fatalf("complexity %+v", c)
+	}
+	removed, filled := CleanupMask(m, 4)
+	if removed != 1 || filled != 0 {
+		t.Fatalf("cleanup removed %d, filled %d", removed, filled)
+	}
+	if Complexity(m).Islands != 1 {
+		t.Fatal("stain survived cleanup")
+	}
+}
+
+func TestSRAFWarmStartEndToEnd(t *testing.T) {
+	// Full API flow: SRAF-seeded level-set optimization must run and
+	// produce a valid mask.
+	pipe, err := NewPipeline(PresetTest, GPUEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := Benchmark("B4")
+	target, err := pipe.Target(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := AddSRAF(target, DefaultSRAF(pipe.PixelNM()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultLevelSetOptions()
+	opts.MaxIter = 6
+	opts.InitialMask = seed
+	run, err := pipe.OptimizeLevelSet(layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Mask.Sum() == 0 {
+		t.Fatal("empty mask from SRAF-seeded run")
+	}
+	if run.Report.ShapeViolations > 2 {
+		t.Fatalf("SRAF-seeded run broke shapes: %+v", run.Report)
+	}
+}

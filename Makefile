@@ -1,0 +1,38 @@
+# Build/test entry points for the lsopc repository.
+#
+#   make build   - compile every package and command
+#   make test    - full test suite (tier-1 gate)
+#   make race    - race-detector run over the parallel execution layers
+#   make vet     - static analysis
+#   make bench   - the headline benchmarks behind the Table II claims
+#   make benchjson - regenerate the "after" entry of BENCH_batchfft.json
+#   make check   - build + vet + test + race, the pre-commit bundle
+
+GO ?= go
+
+.PHONY: all build test race vet bench benchjson check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages whose correctness depends on goroutine scheduling: the
+# engine worker pool, the batched FFT passes, and the litho paths that
+# fan kernels/corners across workers.
+race:
+	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkTable2PerCase|BenchmarkAerialExact|BenchmarkAerialFused|BenchmarkGradient$$|BenchmarkBatch' -benchmem ./...
+
+benchjson:
+	$(GO) run ./cmd/benchjson -label after
+
+check: build vet test race

@@ -183,6 +183,26 @@ type Optimizer struct {
 	sim    *litho.Simulator
 	target *grid.Field
 	opts   Options
+	// corners holds one worker per process corner when the PV-band cost
+	// is active: the three corners simulate concurrently on sibling
+	// simulators scheduled on Split sub-engines, so the corner fan-out
+	// and the per-corner FFT fan-out compose without oversubscription.
+	// nil when PVBWeight == 0 (nominal-only optimization).
+	corners []*cornerWorker
+}
+
+// cornerWorker bundles one process corner's simulator and result
+// buffers. Each worker owns its gradient and image scratch, so the three
+// corners can run concurrently; results are combined afterwards in the
+// fixed nominal→outer→inner order, which keeps the total gradient
+// bit-identical to the serial accumulation for any engine.
+type cornerWorker struct {
+	sim    *litho.Simulator
+	cond   litho.Condition
+	weight float64
+	grad   *grid.Field
+	imgs   *litho.CornerImages
+	cost   float64
 }
 
 // ErrShapeMismatch is returned when the target does not match the
@@ -200,7 +220,43 @@ func New(sim *litho.Simulator, target *grid.Field, opts Options) (*Optimizer, er
 	if target.W != n || target.H != n {
 		return nil, fmt.Errorf("%w: target %dx%d, grid %d", ErrShapeMismatch, target.W, target.H, n)
 	}
-	return &Optimizer{sim: sim, target: target, opts: opts}, nil
+	o := &Optimizer{sim: sim, target: target, opts: opts}
+	if opts.PVBWeight > 0 {
+		subs := sim.Engine().Split(len(litho.AllConditions))
+		for i, cond := range litho.AllConditions {
+			csim, err := sim.Sibling(subs[i])
+			if err != nil {
+				return nil, err
+			}
+			weight := 1.0
+			if cond != litho.Nominal {
+				weight = opts.PVBWeight
+			}
+			o.corners = append(o.corners, &cornerWorker{
+				sim:    csim,
+				cond:   cond,
+				weight: weight,
+				grad:   grid.NewField(n, n),
+				imgs:   litho.NewCornerImages(n),
+			})
+		}
+	}
+	return o, nil
+}
+
+// simulateCorners runs ForwardAndGradient for all three corners
+// concurrently (each on its own sibling simulator and sub-engine) and
+// leaves per-corner costs and gradients in the workers.
+func (o *Optimizer) simulateCorners(maskSpec *grid.CField) {
+	tasks := make([]func(), len(o.corners))
+	for i := range o.corners {
+		c := o.corners[i]
+		tasks[i] = func() {
+			c.grad.Zero()
+			c.cost = c.sim.ForwardAndGradient(c.grad, maskSpec, c.cond, o.target, c.imgs, c.weight)
+		}
+	}
+	o.sim.Engine().Parallel(tasks...)
 }
 
 // Run executes Algorithm 1 and returns the optimized mask.
@@ -241,12 +297,23 @@ func (o *Optimizer) Run() (*Result, error) {
 		levelset.MaskFromPsi(mask, psi)
 		o.sim.MaskSpectrumInto(maskSpec, mask)
 
-		grad.Zero()
-		costNom := o.sim.ForwardAndGradient(grad, maskSpec, litho.Nominal, o.target, imgs, 1)
-		var costPVB float64
-		if o.opts.PVBWeight > 0 {
-			costPVB += o.sim.ForwardAndGradient(grad, maskSpec, litho.Outer, o.target, imgs, o.opts.PVBWeight)
-			costPVB += o.sim.ForwardAndGradient(grad, maskSpec, litho.Inner, o.target, imgs, o.opts.PVBWeight)
+		var costNom, costPVB float64
+		if o.corners != nil {
+			// All three corners concurrently; combine gradients in the
+			// fixed nominal→outer→inner order so the sum matches the
+			// serial accumulation bit-for-bit on any engine.
+			o.simulateCorners(maskSpec)
+			costNom = o.corners[0].cost
+			costPVB = o.corners[1].cost + o.corners[2].cost
+			g0, g1, g2 := o.corners[0].grad.Data, o.corners[1].grad.Data, o.corners[2].grad.Data
+			o.sim.Engine().ForChunk(len(grad.Data), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					grad.Data[j] = g0[j] + g1[j] + g2[j]
+				}
+			})
+		} else {
+			grad.Zero()
+			costNom = o.sim.ForwardAndGradient(grad, maskSpec, litho.Nominal, o.target, imgs, 1)
 		}
 
 		// Velocity (Eq. 10 with our sign convention): v = +G·|∇ψ|.
@@ -393,15 +460,20 @@ func (o *Optimizer) Run() (*Result, error) {
 func (o *Optimizer) costAtPsi(psi, mask *grid.Field, maskSpec *grid.CField, imgs *litho.CornerImages) float64 {
 	levelset.MaskFromPsi(mask, psi)
 	o.sim.MaskSpectrumInto(maskSpec, mask)
-	o.sim.Forward(imgs, maskSpec, litho.Nominal)
-	cost := litho.CostAt(imgs.R, o.target)
-	if o.opts.PVBWeight > 0 {
-		o.sim.Forward(imgs, maskSpec, litho.Outer)
-		cost += o.opts.PVBWeight * litho.CostAt(imgs.R, o.target)
-		o.sim.Forward(imgs, maskSpec, litho.Inner)
-		cost += o.opts.PVBWeight * litho.CostAt(imgs.R, o.target)
+	if o.corners != nil {
+		tasks := make([]func(), len(o.corners))
+		for i := range o.corners {
+			c := o.corners[i]
+			tasks[i] = func() {
+				c.sim.Forward(c.imgs, maskSpec, c.cond)
+				c.cost = litho.CostAt(c.imgs.R, o.target)
+			}
+		}
+		o.sim.Engine().Parallel(tasks...)
+		return o.corners[0].cost + o.opts.PVBWeight*o.corners[1].cost + o.opts.PVBWeight*o.corners[2].cost
 	}
-	return cost
+	o.sim.Forward(imgs, maskSpec, litho.Nominal)
+	return litho.CostAt(imgs.R, o.target)
 }
 
 // prpCoefficient computes the Polak–Ribière–Polyak coefficient (Eq. 16)

@@ -260,6 +260,45 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
+func TestEngineEquivalentRuns(t *testing.T) {
+	// The concurrent three-corner fan-out (engine.Split + Parallel) must
+	// reproduce the serial reference bit-for-bit: same mask, same cost
+	// trace, at every worker count.
+	target := crossTarget(64)
+	opts := DefaultOptions()
+	opts.MaxIter = 5
+	opts.PVBWeight = 0.5 // exercise the corner workers
+
+	run := func(workers int) *Result {
+		cfg := litho.DefaultConfig(64, 32)
+		cfg.Optics.Kernels = 3
+		sim, err := litho.NewSimulator(cfg, engine.New("eq", workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runOpts(t, sim, target, opts)
+	}
+
+	ref := run(1)
+	for _, workers := range []int{3, 8} {
+		got := run(workers)
+		if !got.Mask.Equal(ref.Mask, 0) {
+			t.Fatalf("workers=%d: mask differs from serial reference", workers)
+		}
+		if len(got.History) != len(ref.History) {
+			t.Fatalf("workers=%d: history length %d vs %d", workers, len(got.History), len(ref.History))
+		}
+		for i := range got.History {
+			g, r := got.History[i], ref.History[i]
+			if g.CostNominal != r.CostNominal || g.CostPVB != r.CostPVB || g.CostTotal != r.CostTotal {
+				t.Fatalf("workers=%d iter %d: cost trace (%v,%v,%v) vs (%v,%v,%v)",
+					workers, i, g.CostNominal, g.CostPVB, g.CostTotal,
+					r.CostNominal, r.CostPVB, r.CostTotal)
+			}
+		}
+	}
+}
+
 func TestFinalCostEmptyHistory(t *testing.T) {
 	r := &Result{}
 	if !math.IsNaN(r.FinalCost()) || !math.IsNaN(r.BestCost()) {

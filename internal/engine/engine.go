@@ -58,6 +58,31 @@ func (e *Engine) String() string { return fmt.Sprintf("engine(%s, %d workers)", 
 // Serial reports whether the engine runs with a single worker.
 func (e *Engine) Serial() bool { return e.workers == 1 }
 
+// Split partitions the engine's workers into n sub-engines for nested
+// parallelism: an outer Parallel over n independent tasks (e.g. the
+// three process corners) can hand each task a sub-engine so the inner
+// ForChunk/Map fan-outs do not oversubscribe the machine. Workers are
+// distributed as evenly as possible and every sub-engine keeps at least
+// one worker, so splitting a serial engine yields n serial engines (the
+// outer Parallel then degenerates to an in-order loop and the whole
+// computation stays on one worker). Sub-engines are named
+// "<name>/<index>" for reports.
+func (e *Engine) Split(n int) []*Engine {
+	if n < 1 {
+		n = 1
+	}
+	subs := make([]*Engine, n)
+	base, rem := e.workers/n, e.workers%n
+	for i := range subs {
+		w := base
+		if i < rem {
+			w++
+		}
+		subs[i] = New(fmt.Sprintf("%s/%d", e.name, i), w)
+	}
+	return subs
+}
+
 // For runs body(i) for every i in [0, n), splitting the index range into
 // contiguous chunks across the engine's workers. It blocks until all
 // iterations complete. With a single worker it degenerates to a plain

@@ -149,6 +149,101 @@ func TestEnginesComputeSameResult(t *testing.T) {
 	}
 }
 
+func TestSplitDistributesWorkers(t *testing.T) {
+	cases := []struct {
+		workers, n int
+		want       []int
+	}{
+		{8, 3, []int{3, 3, 2}},
+		{6, 3, []int{2, 2, 2}},
+		{1, 3, []int{1, 1, 1}}, // serial engine: every sub-engine stays serial
+		{2, 3, []int{1, 1, 1}}, // min one worker each, never zero
+		{7, 2, []int{4, 3}},
+		{5, 1, []int{5}},
+	}
+	for _, c := range cases {
+		subs := New("e", c.workers).Split(c.n)
+		if len(subs) != len(c.want) {
+			t.Fatalf("Split(%d) of %d workers: got %d sub-engines", c.n, c.workers, len(subs))
+		}
+		for i, s := range subs {
+			if s.Workers() != c.want[i] {
+				t.Errorf("workers=%d n=%d: sub %d has %d workers, want %d",
+					c.workers, c.n, i, s.Workers(), c.want[i])
+			}
+		}
+	}
+}
+
+func TestSplitNames(t *testing.T) {
+	subs := New("gpu", 4).Split(2)
+	if subs[0].Name() != "gpu/0" || subs[1].Name() != "gpu/1" {
+		t.Fatalf("sub-engine names = %q, %q", subs[0].Name(), subs[1].Name())
+	}
+}
+
+func TestSplitClampsN(t *testing.T) {
+	subs := New("e", 4).Split(0)
+	if len(subs) != 1 || subs[0].Workers() != 4 {
+		t.Fatalf("Split(0) = %v", subs)
+	}
+}
+
+func TestNestedParallelForChunk(t *testing.T) {
+	// The corner fan-out pattern: an outer Parallel over sub-engines,
+	// each running its own inner ForChunk/Map sweeps. All indices of all
+	// tasks must be covered exactly once with no data races.
+	for _, workers := range []int{1, 3, 8} {
+		outer := New("outer", workers)
+		subs := outer.Split(3)
+		const n = 2048
+		results := make([][]int32, 3)
+		tasks := make([]func(), 3)
+		for ti := range tasks {
+			ti := ti
+			results[ti] = make([]int32, n)
+			tasks[ti] = func() {
+				sub := subs[ti]
+				sub.ForChunk(n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&results[ti][i], 1)
+					}
+				})
+				sub.Map(n, func(worker, i int) {
+					if worker < 0 || worker >= sub.Workers() {
+						t.Errorf("task %d: worker ordinal %d out of range", ti, worker)
+					}
+					atomic.AddInt32(&results[ti][i], 1)
+				})
+			}
+		}
+		outer.Parallel(tasks...)
+		for ti := range results {
+			for i, c := range results[ti] {
+				if c != 2 {
+					t.Fatalf("workers=%d task=%d index=%d visited %d times, want 2", workers, ti, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSerialParallelRunsInOrder(t *testing.T) {
+	// With one worker, Parallel degenerates to an in-order loop — the
+	// property the optimizer's fixed-order corner combination relies on
+	// for bit-identity with the serial reference.
+	e := CPU()
+	var order []int
+	e.Parallel(
+		func() { order = append(order, 0) },
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+	)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("serial Parallel order = %v", order)
+	}
+}
+
 func TestString(t *testing.T) {
 	if got := New("cpu", 1).String(); got != "engine(cpu, 1 workers)" {
 		t.Fatalf("String = %q", got)

@@ -1,0 +1,285 @@
+package fft
+
+import (
+	"fmt"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+)
+
+// BatchPlan2D performs 2-D transforms on a stack of B same-shaped
+// complex fields with kernel-level parallelism: every pass schedules the
+// B×rows (or B×cols) independent 1-D transforms of the whole batch in a
+// single engine sweep, so one optimizer stage pays one fork/join barrier
+// per pass instead of one per field. This is the batched-FFT execution
+// model the paper obtains from cuFFT's plan-many interface.
+//
+// Unlike Plan2D, the column pass does not transpose: each worker gathers
+// a column into per-worker scratch, transforms it, and scatters it back,
+// eliminating the two full-field transpose passes per transform.
+//
+// The banded variants exploit the band-limited kernel spectra of the
+// lithography model (optics.Kernel stores a (2R+1)² box around DC):
+// rows/columns known to be zero are skipped entirely. Skipping is
+// bit-exact — a radix-2 FFT of an all-zero vector is exactly zero — so
+// banded and full transforms agree bit-for-bit on every bin the caller
+// is allowed to read.
+//
+// A BatchPlan2D owns per-worker scratch and is NOT safe for concurrent
+// use; create one per goroutine (the immutable 1-D plans are shared
+// through the package cache).
+type BatchPlan2D struct {
+	w, h    int
+	rowPlan *Plan // length w
+	colPlan *Plan // length h
+	eng     *engine.Engine
+	col     [][]complex128 // per-worker column gather scratch, colBlock·h
+}
+
+// NewBatchPlan2D creates a batched 2-D plan for w×h fields executed on
+// eng. Both dimensions must be powers of two.
+func NewBatchPlan2D(w, h int, eng *engine.Engine) *BatchPlan2D {
+	if !grid.IsPow2(w) || !grid.IsPow2(h) {
+		panic(fmt.Sprintf("fft: grid %dx%d is not power-of-two", w, h))
+	}
+	if eng == nil {
+		eng = engine.CPU()
+	}
+	p := &BatchPlan2D{
+		w:       w,
+		h:       h,
+		rowPlan: CachedPlan(w),
+		colPlan: CachedPlan(h),
+		eng:     eng,
+		col:     make([][]complex128, eng.Workers()),
+	}
+	for i := range p.col {
+		p.col[i] = make([]complex128, colBlock*h)
+	}
+	return p
+}
+
+// W returns the plan width.
+func (p *BatchPlan2D) W() int { return p.w }
+
+// H returns the plan height.
+func (p *BatchPlan2D) H() int { return p.h }
+
+// Engine returns the execution engine the plan schedules on.
+func (p *BatchPlan2D) Engine() *engine.Engine { return p.eng }
+
+func (p *BatchPlan2D) check(fields []*grid.CField) {
+	for _, f := range fields {
+		if f.W != p.w || f.H != p.h {
+			panic(fmt.Sprintf("fft: field %dx%d does not match batch plan %dx%d", f.W, f.H, p.w, p.h))
+		}
+	}
+}
+
+// BatchForward computes the in-place unnormalised 2-D DFT of every
+// field in the batch.
+func (p *BatchPlan2D) BatchForward(fields []*grid.CField) {
+	p.check(fields)
+	p.rowPass(fields, false)
+	p.colPass(fields, false, -1)
+}
+
+// BatchInverse computes the in-place inverse 2-D DFT (including the
+// 1/(w·h) normalisation) of every field in the batch.
+func (p *BatchPlan2D) BatchInverse(fields []*grid.CField) {
+	p.check(fields)
+	p.rowPass(fields, true)
+	p.colPass(fields, true, -1)
+}
+
+// BatchInverseBanded is BatchInverse for spectra whose support is
+// confined to the wrapped row band |v| ≤ band (rows 0..band and
+// h-band..h-1). Rows outside the band are never read — they may hold
+// stale data — and are treated as exactly zero, which matches what a
+// full inverse of a properly zeroed field would compute bit-for-bit.
+// The output is dense (every element of every field is written).
+// band < 0 or a band covering the whole grid falls back to the full
+// transform.
+func (p *BatchPlan2D) BatchInverseBanded(fields []*grid.CField, band int) {
+	p.check(fields)
+	if band < 0 || 2*band+1 >= p.h {
+		p.rowPass(fields, true)
+		p.colPass(fields, true, -1)
+		return
+	}
+	p.rowPassBanded(fields, band, true)
+	p.colPass(fields, true, band)
+}
+
+// BatchForwardBandedCols computes the forward DFT but transforms only
+// the wrapped column band |u| ≤ band in the second pass. On return the
+// bins in columns 0..band and w-band..w-1 (all rows) hold their exact
+// full-transform values; all other columns hold undefined intermediate
+// data and must not be read. This is the output-pruned transform for
+// spectra that are consumed only inside a band-limited kernel box.
+// band < 0 or a band covering the whole grid falls back to the full
+// transform.
+func (p *BatchPlan2D) BatchForwardBandedCols(fields []*grid.CField, band int) {
+	p.check(fields)
+	p.rowPass(fields, false)
+	if band < 0 || 2*band+1 >= p.w {
+		p.colPass(fields, false, -1)
+		return
+	}
+	p.colPassCols(fields, band, false)
+}
+
+// rowPass transforms every row of every field in one engine sweep.
+func (p *BatchPlan2D) rowPass(fields []*grid.CField, inverse bool) {
+	w, h := p.w, p.h
+	p.eng.ForChunk(len(fields)*h, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data := fields[i/h].Data
+			r := i % h
+			row := data[r*w : (r+1)*w]
+			if inverse {
+				p.rowPlan.Inverse(row)
+			} else {
+				p.rowPlan.Forward(row)
+			}
+		}
+	})
+}
+
+// rowPassBanded transforms only the wrapped band rows |v| ≤ band of
+// every field (2·band+1 rows instead of h).
+func (p *BatchPlan2D) rowPassBanded(fields []*grid.CField, band int, inverse bool) {
+	w, h := p.w, p.h
+	rows := 2*band + 1
+	p.eng.ForChunk(len(fields)*rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data := fields[i/rows].Data
+			j := i % rows
+			r := j
+			if j > band {
+				r = h - rows + j
+			}
+			row := data[r*w : (r+1)*w]
+			if inverse {
+				p.rowPlan.Inverse(row)
+			} else {
+				p.rowPlan.Forward(row)
+			}
+		}
+	})
+}
+
+// colBlock is the number of columns gathered per work item. Gathering a
+// few adjacent columns together turns the strided column walk into
+// full-cache-line reads, which dominates the pass cost on large grids.
+const colBlock = 4
+
+// colPass transforms every column of every field by blocked gather/
+// transform/scatter with per-worker scratch. inBand ≥ 0 declares that
+// only the wrapped rows |v| ≤ inBand hold live data: other rows are
+// gathered as exact zeros instead of being read.
+func (p *BatchPlan2D) colPass(fields []*grid.CField, inverse bool, inBand int) {
+	w, h := p.w, p.h
+	banded := inBand >= 0 && 2*inBand+1 < h
+	blocks := (w + colBlock - 1) / colBlock
+	p.eng.Map(len(fields)*blocks, func(worker, i int) {
+		data := fields[i/blocks].Data
+		x0 := (i % blocks) * colBlock
+		x1 := x0 + colBlock
+		if x1 > w {
+			x1 = w
+		}
+		nb := x1 - x0
+		s := p.col[worker]
+		gather := func(y int) {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				s[c*h+y] = data[base+c]
+			}
+		}
+		if banded {
+			for y := 0; y <= inBand; y++ {
+				gather(y)
+			}
+			for c := 0; c < nb; c++ {
+				seg := s[c*h : (c+1)*h]
+				for y := inBand + 1; y < h-inBand; y++ {
+					seg[y] = 0
+				}
+			}
+			for y := h - inBand; y < h; y++ {
+				gather(y)
+			}
+		} else {
+			for y := 0; y < h; y++ {
+				gather(y)
+			}
+		}
+		for c := 0; c < nb; c++ {
+			seg := s[c*h : (c+1)*h]
+			if inverse {
+				p.colPlan.Inverse(seg)
+			} else {
+				p.colPlan.Forward(seg)
+			}
+		}
+		for y := 0; y < h; y++ {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				data[base+c] = s[c*h+y]
+			}
+		}
+	})
+}
+
+// colPassCols transforms only the wrapped band columns |u| ≤ band of
+// every field (2·band+1 columns instead of w). The band splits into two
+// contiguous column runs ([0, band] and [w-band, w)), each processed in
+// cache-friendly blocks.
+func (p *BatchPlan2D) colPassCols(fields []*grid.CField, band int, inverse bool) {
+	w, h := p.w, p.h
+	// Blocks of the low run [0, band] then the high run [w-band, w).
+	lowBlocks := (band + 1 + colBlock - 1) / colBlock
+	highBlocks := (band + colBlock - 1) / colBlock
+	blocks := lowBlocks + highBlocks
+	p.eng.Map(len(fields)*blocks, func(worker, i int) {
+		data := fields[i/blocks].Data
+		b := i % blocks
+		var x0, x1 int
+		if b < lowBlocks {
+			x0 = b * colBlock
+			x1 = x0 + colBlock
+			if x1 > band+1 {
+				x1 = band + 1
+			}
+		} else {
+			x0 = w - band + (b-lowBlocks)*colBlock
+			x1 = x0 + colBlock
+			if x1 > w {
+				x1 = w
+			}
+		}
+		nb := x1 - x0
+		s := p.col[worker]
+		for y := 0; y < h; y++ {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				s[c*h+y] = data[base+c]
+			}
+		}
+		for c := 0; c < nb; c++ {
+			seg := s[c*h : (c+1)*h]
+			if inverse {
+				p.colPlan.Inverse(seg)
+			} else {
+				p.colPlan.Forward(seg)
+			}
+		}
+		for y := 0; y < h; y++ {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				data[base+c] = s[c*h+y]
+			}
+		}
+	})
+}

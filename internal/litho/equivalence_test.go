@@ -1,0 +1,187 @@
+package litho
+
+import (
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+)
+
+// eqRand is a deterministic LCG so the random mask is identical across
+// runs and Go versions.
+type eqRand uint64
+
+func (r *eqRand) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(*r>>11) / float64(1 << 53)
+}
+
+// randomMask returns a smooth pseudo-random mask in [0,1]: random pixels
+// would exercise nothing but noise; a blocky random pattern resembles a
+// real layout.
+func randomMask(n int, seed uint64) *grid.Field {
+	r := eqRand(seed)
+	m := grid.NewField(n, n)
+	const block = 8
+	for by := 0; by < n; by += block {
+		for bx := 0; bx < n; bx += block {
+			v := 0.0
+			if r.next() > 0.5 {
+				v = 1
+			}
+			for y := by; y < by+block && y < n; y++ {
+				for x := bx; x < bx+block && x < n; x++ {
+					m.Set(x, y, v)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// eqSim builds the test simulator on the given engine.
+func eqSim(t *testing.T, eng *engine.Engine, kernels int) *Simulator {
+	t.Helper()
+	cfg := DefaultConfig(64, 32)
+	cfg.Optics.Kernels = kernels
+	s, err := NewSimulator(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fieldsEqual(t *testing.T, what string, a, b *grid.Field) {
+	t.Helper()
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: pixel %d = %v vs %v (must be bit-identical)", what, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func cfieldsEqual(t *testing.T, what string, a, b *grid.CField) {
+	t.Helper()
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: bin %d = %v vs %v (must be bit-identical)", what, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestEngineEquivalence is the package's determinism contract: the
+// serial CPU engine and parallel engines of several worker counts
+// (GPU() collapses to one worker on single-core hosts, so explicit
+// counts are used) must produce bit-identical spectra, aerial images,
+// resist images, printed masks, gradients, and costs on a random mask.
+func TestEngineEquivalence(t *testing.T) {
+	const n, kernels = 64, 4
+	mask := randomMask(n, 42)
+	target := randomMask(n, 99)
+
+	type result struct {
+		spec     *grid.CField
+		aerial   *grid.Field
+		fast     *grid.Field
+		resist   *grid.Field
+		printed  *grid.Field
+		grad     *grid.Field
+		cost     float64
+		gradCost *grid.Field // gradient from Forward+GradientInto (unfused)
+	}
+
+	run := func(eng *engine.Engine) result {
+		s := eqSim(t, eng, kernels)
+		var res result
+		res.spec = grid.NewCField(n, n)
+		s.MaskSpectrumInto(res.spec, mask)
+
+		res.aerial = grid.NewField(n, n)
+		s.Aerial(res.aerial, res.spec, Outer)
+
+		res.fast = grid.NewField(n, n)
+		s.AerialFast(res.fast, res.spec, Inner)
+
+		res.resist = grid.NewField(n, n)
+		s.Resist(res.resist, res.aerial)
+
+		res.printed = grid.NewField(n, n)
+		s.PrintedBinary(res.printed, res.spec, Nominal)
+
+		out := NewCornerImages(n)
+		res.grad = grid.NewField(n, n)
+		res.cost = s.ForwardAndGradient(res.grad, res.spec, Inner, target, out, 0.7)
+
+		// Unfused path on a fresh simulator for the same corner.
+		s2 := eqSim(t, eng, kernels)
+		out2 := NewCornerImages(n)
+		s2.Forward(out2, res.spec, Inner)
+		res.gradCost = grid.NewField(n, n)
+		s2.GradientInto(res.gradCost, res.spec, Inner, target, out2.R, 0.7)
+		return res
+	}
+
+	ref := run(engine.CPU())
+	for _, workers := range []int{2, 3, 8} {
+		eng := engine.New("gpu-test", workers)
+		got := run(eng)
+		label := eng.String()
+		cfieldsEqual(t, label+" mask spectrum", got.spec, ref.spec)
+		fieldsEqual(t, label+" aerial", got.aerial, ref.aerial)
+		fieldsEqual(t, label+" fast aerial", got.fast, ref.fast)
+		fieldsEqual(t, label+" resist", got.resist, ref.resist)
+		fieldsEqual(t, label+" printed", got.printed, ref.printed)
+		fieldsEqual(t, label+" gradient", got.grad, ref.grad)
+		if got.cost != ref.cost {
+			t.Fatalf("%s cost = %v vs %v", label, got.cost, ref.cost)
+		}
+		fieldsEqual(t, label+" unfused gradient", got.gradCost, ref.gradCost)
+	}
+
+	// The fused and unfused pipelines must agree bitwise as well: both
+	// accumulate the same per-kernel terms in the same order.
+	fieldsEqual(t, "fused vs unfused gradient", ref.grad, ref.gradCost)
+}
+
+// TestRetainedMatchesStreamingBitwise checks the two adjoint/aerial
+// execution strategies — batched per-kernel fields vs the streaming
+// single-field fallback used above the memory cap — are bit-identical:
+// both run the same banded transforms and accumulate kernels in the
+// same order.
+func TestRetainedMatchesStreamingBitwise(t *testing.T) {
+	const n, kernels = 64, 4
+	eng := engine.New("gpu-test", 3)
+	mask := randomMask(n, 7)
+	target := randomMask(n, 8)
+
+	s := eqSim(t, eng, kernels)
+	if !s.canRetain() {
+		t.Fatalf("test grid unexpectedly exceeds the retain budget")
+	}
+	spec := grid.NewCField(n, n)
+	s.MaskSpectrumInto(spec, mask)
+	bank := s.Bank(Nominal)
+
+	// Batched aerial + adjoint.
+	aerialB := grid.NewField(n, n)
+	s.aerialInto(aerialB, bank, spec)
+	gradB := grid.NewField(n, n)
+	s.sensitivity(s.sens, aerialB, target, 1)
+	s.adjointFromFields(s.retained(len(bank.Kernels)), bank, s.sens)
+	s.applyGradient(gradB, 1)
+
+	// Streaming aerial + adjoint on a sibling simulator.
+	s2, err := s.Sibling(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aerialS := grid.NewField(n, n)
+	s2.aerialStreaming(aerialS, bank, spec)
+	gradS := grid.NewField(n, n)
+	s2.sensitivity(s2.sens, aerialS, target, 1)
+	s2.adjointStreaming(bank, spec, s2.sens)
+	s2.applyGradient(gradS, 1)
+
+	fieldsEqual(t, "retained vs streaming aerial", aerialB, aerialS)
+	fieldsEqual(t, "retained vs streaming gradient", gradB, gradS)
+}

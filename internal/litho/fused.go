@@ -4,21 +4,22 @@ import (
 	"lsopc/internal/grid"
 )
 
-// retainLimitBytes caps the memory spent caching per-kernel coherent
-// fields between the forward and adjoint passes. Below the cap each
-// kernel's E_k is computed once per iteration (the batching the paper's
-// GPU implementation gets from device memory); above it E_k is
-// recomputed in the adjoint pass, trading FLOPs for memory.
+// retainLimitBytes caps the memory spent on the batched per-kernel
+// coherent-field stack. Below the cap each kernel's E_k is materialised
+// into the batch and transformed by one batched FFT sweep per pass (the
+// batching the paper's GPU implementation gets from device memory);
+// above it E_k streams through a single scratch field, trading barriers
+// for memory.
 const retainLimitBytes = 256 << 20
 
-// canRetain reports whether the per-kernel field cache fits the budget.
+// canRetain reports whether the per-kernel field batch fits the budget.
 func (s *Simulator) canRetain() bool {
 	n := s.GridSize()
 	k := s.cfg.Optics.Kernels
 	return k*n*n*16 <= retainLimitBytes
 }
 
-// retained returns the per-kernel field cache, allocating on first use.
+// retained returns the per-kernel field batch, allocating on first use.
 func (s *Simulator) retained(k int) []*grid.CField {
 	n := s.GridSize()
 	for len(s.fields) < k {
@@ -31,29 +32,18 @@ func (s *Simulator) retained(k int) []*grid.CField {
 // accumulates weight·∂‖R−target‖²/∂M into grad (Eq. 11), filling out
 // with the aerial and sigmoid resist images. It returns the corner cost
 // ‖R−target‖². Compared with Forward followed by GradientInto it
-// computes each kernel's coherent field only once when the retention
-// cache fits in memory.
+// computes each kernel's coherent field only once when the batch fits in
+// memory: the forward pass leaves all K fields E_k in the batch, and the
+// adjoint pass reuses them in place.
 func (s *Simulator) ForwardAndGradient(grad *grid.Field, maskSpec *grid.CField, cond Condition, target *grid.Field, out *CornerImages, weight float64) float64 {
 	bank := s.Bank(cond)
-	n := s.GridSize()
 	dose := s.Dose(cond)
 	retain := s.canRetain()
-	var cache []*grid.CField
-	if retain {
-		cache = s.retained(len(bank.Kernels))
-	}
 
-	// Pass 1: coherent fields and aerial intensity (Eq. 1).
-	out.Aerial.Zero()
-	for ki, k := range bank.Kernels {
-		dst := s.field
-		if retain {
-			dst = cache[ki]
-		}
-		k.MulInto(dst, maskSpec)
-		s.plan.Inverse(dst)
-		dst.AccumAbsSq(out.Aerial, k.Weight)
-	}
+	// Pass 1: coherent fields and aerial intensity (Eq. 1). One batched
+	// banded inverse FFT over all K kernels, then a pixel-partitioned
+	// SOCS reduction.
+	s.aerialInto(out.Aerial, bank, maskSpec)
 	s.blurInPlace(out.Aerial)
 	if dose != 1 {
 		out.Aerial.Scale(out.Aerial, dose)
@@ -61,37 +51,14 @@ func (s *Simulator) ForwardAndGradient(grad *grid.Field, maskSpec *grid.CField, 
 	s.Resist(out.R, out.Aerial)
 	cost := CostAt(out.R, target)
 
-	// W = 2·s·dose·(R−R*)⊙R⊙(1−R), pulled back through the diffusion
-	// blur (self-adjoint) when enabled.
-	w := grid.NewField(n, n)
-	c := 2 * s.cfg.Steepness * dose
-	for i := range w.Data {
-		rv := out.R.Data[i]
-		w.Data[i] = c * (rv - target.Data[i]) * rv * (1 - rv)
+	// Pass 2: adjoint accumulation in the frequency domain, reusing the
+	// batched E_k when retained.
+	s.sensitivity(s.sens, out.R, target, dose)
+	if retain {
+		s.adjointFromFields(s.retained(len(bank.Kernels)), bank, s.sens)
+	} else {
+		s.adjointStreaming(bank, maskSpec, s.sens)
 	}
-	s.blurInPlace(w)
-
-	// Pass 2: adjoint accumulation in the frequency domain.
-	s.accum.Zero()
-	for ki, k := range bank.Kernels {
-		var ek *grid.CField
-		if retain {
-			ek = cache[ki]
-		} else {
-			ek = s.field
-			k.MulInto(ek, maskSpec)
-			s.plan.Inverse(ek)
-		}
-		for i := range s.ampSpec.Data {
-			e := ek.Data[i]
-			s.ampSpec.Data[i] = complex(w.Data[i], 0) * complex(real(e), -imag(e))
-		}
-		s.plan.Forward(s.ampSpec)
-		k.AccumFlipMul(s.accum, s.ampSpec, complex(k.Weight, 0))
-	}
-	s.plan.Inverse(s.accum)
-	for i := range grad.Data {
-		grad.Data[i] += weight * 2 * real(s.accum.Data[i])
-	}
+	s.applyGradient(grad, weight)
 	return cost
 }

@@ -96,20 +96,25 @@ func (c Config) Validate() error {
 
 // Simulator evaluates the forward imaging model and its adjoint. It owns
 // per-instance scratch storage and is NOT safe for concurrent use;
-// create one per goroutine (kernel banks may be shared via NewWithBanks).
+// create one per goroutine (kernel banks may be shared via NewWithBanks
+// or Sibling).
 type Simulator struct {
-	cfg  Config
-	eng  *engine.Engine
-	plan *fft.Plan2D
+	cfg   Config
+	eng   *engine.Engine
+	plan  *fft.Plan2D
+	batch *fft.BatchPlan2D
 
 	nominalBank *optics.Bank // focus = 0
 	defocusBank *optics.Bank // focus = DefocusNM
 
 	// Scratch reused across calls.
-	field   *grid.CField   // per-kernel coherent field E_k
+	field   *grid.CField   // per-kernel coherent field E_k (non-batched fallback)
 	accum   *grid.CField   // frequency-domain gradient accumulator
-	ampSpec *grid.CField   // spectrum of W ⊙ conj(E_k)
-	fields  []*grid.CField // retained per-kernel fields (see fused.go)
+	ampSpec *grid.CField   // spectrum of W ⊙ conj(E_k) (non-batched fallback)
+	fields  []*grid.CField // batched per-kernel fields (see fused.go)
+	single  [1]*grid.CField // reusable singleton for banded one-field transforms
+	sens    *grid.Field     // resist sensitivity W (hoisted out of the hot path)
+	aerial  *grid.Field     // aerial temp for PrintedBinary
 
 	// Resist diffusion (see diffusion.go); nil when disabled.
 	diffusion   *grid.Field
@@ -152,17 +157,27 @@ func NewWithBanks(cfg Config, eng *engine.Engine, nominal, defocus *optics.Bank)
 		cfg:         cfg,
 		eng:         eng,
 		plan:        fft.NewPlan2D(n, n, eng),
+		batch:       fft.NewBatchPlan2D(n, n, eng),
 		nominalBank: nominal,
 		defocusBank: defocus,
 		field:       grid.NewCField(n, n),
 		accum:       grid.NewCField(n, n),
 		ampSpec:     grid.NewCField(n, n),
+		sens:        grid.NewField(n, n),
+		aerial:      grid.NewField(n, n),
 	}
 	if cfg.DiffusionNM > 0 {
 		s.diffusion = diffusionSpectrum(n, cfg.Optics.PixelNM, cfg.DiffusionNM)
 		s.blurScratch = grid.NewCField(n, n)
 	}
 	return s, nil
+}
+
+// Sibling builds a simulator that shares this simulator's immutable
+// kernel banks but owns fresh scratch, scheduled on eng — the way to fan
+// process corners across Split sub-engines without data races.
+func (s *Simulator) Sibling(eng *engine.Engine) (*Simulator, error) {
+	return NewWithBanks(s.cfg, eng, s.nominalBank, s.defocusBank)
 }
 
 // Config returns the simulator configuration.
@@ -210,16 +225,76 @@ func (s *Simulator) MaskSpectrumInto(dst *grid.CField, mask *grid.Field) {
 	s.plan.ForwardReal(dst, mask)
 }
 
+// inverseBanded runs the band-limited batched inverse on a single field.
+func (s *Simulator) inverseBanded(c *grid.CField, band int) {
+	s.single[0] = c
+	s.batch.BatchInverseBanded(s.single[:], band)
+}
+
+// materialize fills fields[k] with the per-kernel spectral products
+// spec_k ∘ M̂, fanning the kernels across the engine's workers. Each
+// field is written by exactly one worker, so the result is independent
+// of scheduling.
+func (s *Simulator) materialize(fields []*grid.CField, bank *optics.Bank, maskSpec *grid.CField) {
+	s.eng.For(len(bank.Kernels), func(k int) {
+		bank.Kernels[k].MulIntoBand(fields[k], maskSpec)
+	})
+}
+
+// reduceAbsSq reduces the SOCS sum dst = Σ_k μ_k |E_k|² over the batch
+// of coherent fields. The reduction is partitioned over pixels; within
+// each pixel the kernels are summed in ascending k order, so the result
+// is bit-identical for any worker count (and to the serial per-kernel
+// AccumAbsSq loop).
+func (s *Simulator) reduceAbsSq(dst *grid.Field, fields []*grid.CField, bank *optics.Bank) {
+	s.eng.ForChunk(len(dst.Data), func(lo, hi int) {
+		d := dst.Data[lo:hi]
+		for i := range d {
+			d[i] = 0
+		}
+		for ki := range fields {
+			w := bank.Kernels[ki].Weight
+			f := fields[ki].Data[lo:hi]
+			for i, v := range f {
+				re, im := real(v), imag(v)
+				d[i] += w * (re*re + im*im)
+			}
+		}
+	})
+}
+
+// aerialInto computes the undosed SOCS intensity Σ_k μ_k |h_k ⊗ M|²
+// into dst. When the per-kernel field batch fits the retention budget
+// all K coherent fields are materialised at once and inverse-transformed
+// by one batched banded FFT sweep; otherwise the kernels stream through
+// a single scratch field.
+func (s *Simulator) aerialInto(dst *grid.Field, bank *optics.Bank, maskSpec *grid.CField) {
+	if s.canRetain() {
+		fields := s.retained(len(bank.Kernels))
+		s.materialize(fields, bank, maskSpec)
+		s.batch.BatchInverseBanded(fields, bank.Radius())
+		s.reduceAbsSq(dst, fields, bank)
+		return
+	}
+	s.aerialStreaming(dst, bank, maskSpec)
+}
+
+// aerialStreaming is the low-memory SOCS fallback: each kernel streams
+// through the single scratch field and accumulates serially, in the same
+// ascending-k order as the batched reduction (bit-identical to it).
+func (s *Simulator) aerialStreaming(dst *grid.Field, bank *optics.Bank, maskSpec *grid.CField) {
+	dst.Zero()
+	for _, k := range bank.Kernels {
+		k.MulIntoBand(s.field, maskSpec)
+		s.inverseBanded(s.field, k.R)
+		s.field.AccumAbsSq(dst, k.Weight)
+	}
+}
+
 // Aerial computes the dose-scaled aerial image (Eq. 1) for the given
 // corner into dst: dst = dose · Σ_k μ_k |h_k ⊗ M|².
 func (s *Simulator) Aerial(dst *grid.Field, maskSpec *grid.CField, cond Condition) {
-	bank := s.Bank(cond)
-	dst.Zero()
-	for _, k := range bank.Kernels {
-		k.MulInto(s.field, maskSpec)
-		s.plan.Inverse(s.field)
-		s.field.AccumAbsSq(dst, k.Weight)
-	}
+	s.aerialInto(dst, s.Bank(cond), maskSpec)
 	s.blurInPlace(dst)
 	if dose := s.Dose(cond); dose != 1 {
 		dst.Scale(dst, dose)
@@ -232,8 +307,8 @@ func (s *Simulator) Aerial(dst *grid.Field, maskSpec *grid.CField, cond Conditio
 // fast path the paper's GPU scheme precomputes.
 func (s *Simulator) AerialFast(dst *grid.Field, maskSpec *grid.CField, cond Condition) {
 	bank := s.Bank(cond)
-	bank.Combined.MulInto(s.field, maskSpec)
-	s.plan.Inverse(s.field)
+	bank.Combined.MulIntoBand(s.field, maskSpec)
+	s.inverseBanded(s.field, bank.Combined.R)
 	s.field.AbsSqInto(dst)
 	s.blurInPlace(dst)
 	if dose := s.Dose(cond); dose != 1 {
@@ -254,9 +329,8 @@ func (s *Simulator) ResistBinary(dst, aerial *grid.Field) {
 // PrintedBinary runs the full forward model (exact aerial + threshold
 // resist) for the corner, the configuration used by the metric checkers.
 func (s *Simulator) PrintedBinary(dst *grid.Field, maskSpec *grid.CField, cond Condition) {
-	aerial := grid.NewFieldLike(dst)
-	s.Aerial(aerial, maskSpec, cond)
-	s.ResistBinary(dst, aerial)
+	s.Aerial(s.aerial, maskSpec, cond)
+	s.ResistBinary(dst, s.aerial)
 }
 
 // CornerImages bundles the forward results the optimizer needs at one
@@ -290,38 +364,111 @@ func (s *Simulator) Forward(out *CornerImages, maskSpec *grid.CField, cond Condi
 // transform happens once.
 func (s *Simulator) GradientInto(grad *grid.Field, maskSpec *grid.CField, cond Condition, target *grid.Field, r *grid.Field, weight float64) {
 	bank := s.Bank(cond)
-	n := s.GridSize()
-	dose := s.Dose(cond)
-
-	// W = 2·s·dose·(R−R*)⊙R⊙(1−R), stored densely once. With resist
-	// diffusion enabled the blur's adjoint (itself) maps the sensitivity
-	// back through the latent-image convolution.
-	w := grid.NewField(n, n)
-	c := 2 * s.cfg.Steepness * dose
-	for i := range w.Data {
-		rv := r.Data[i]
-		w.Data[i] = c * (rv - target.Data[i]) * rv * (1 - rv)
+	s.sensitivity(s.sens, r, target, s.Dose(cond))
+	if s.canRetain() {
+		fields := s.retained(len(bank.Kernels))
+		s.materialize(fields, bank, maskSpec)
+		s.batch.BatchInverseBanded(fields, bank.Radius())
+		s.adjointFromFields(fields, bank, s.sens)
+	} else {
+		s.adjointStreaming(bank, maskSpec, s.sens)
 	}
-	s.blurInPlace(w)
+	s.applyGradient(grad, weight)
+}
 
-	s.accum.Zero()
+// sensitivity computes the resist sensitivity field
+// W = 2·s·dose·(R−R*)⊙R⊙(1−R) into w. With resist diffusion enabled
+// the blur's adjoint (itself) maps the sensitivity back through the
+// latent-image convolution.
+func (s *Simulator) sensitivity(w *grid.Field, r, target *grid.Field, dose float64) {
+	c := 2 * s.cfg.Steepness * dose
+	s.eng.ForChunk(len(w.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rv := r.Data[i]
+			w.Data[i] = c * (rv - target.Data[i]) * rv * (1 - rv)
+		}
+	})
+	s.blurInPlace(w)
+}
+
+// zeroAccumBand clears the rows of the gradient accumulator the adjoint
+// multiply will write (|v| ≤ band); the banded inverse never reads the
+// rest.
+func (s *Simulator) zeroAccumBand(band int) {
+	n := s.GridSize()
+	if 2*band+1 >= n {
+		s.accum.Zero()
+		return
+	}
+	clear := func(lo, hi int) {
+		d := s.accum.Data[lo*n : hi*n]
+		for i := range d {
+			d[i] = 0
+		}
+	}
+	clear(0, band+1)
+	clear(n-band, n)
+}
+
+// adjointFromFields runs the adjoint half of Eq. 11 given the coherent
+// fields E_k in fields (which it overwrites): every field becomes
+// W ⊙ conj(E_k), one batched output-pruned forward FFT produces the
+// amplitude spectra, and the per-kernel flip-multiplies accumulate into
+// s.accum, which is inverse-transformed back to the spatial domain.
+func (s *Simulator) adjointFromFields(fields []*grid.CField, bank *optics.Bank, w *grid.Field) {
+	nn := len(w.Data)
+	s.eng.ForChunk(len(fields)*nn, func(lo, hi int) {
+		for i := lo; i < hi; {
+			ki, j := i/nn, i%nn
+			end := (ki + 1) * nn
+			if end > hi {
+				end = hi
+			}
+			data := fields[ki].Data
+			for ; i < end; i, j = i+1, j+1 {
+				e := data[j]
+				data[j] = complex(w.Data[j], 0) * complex(real(e), -imag(e))
+			}
+		}
+	})
+	s.batch.BatchForwardBandedCols(fields, bank.Radius())
+	s.zeroAccumBand(bank.Radius())
+	for ki, k := range bank.Kernels {
+		k.AccumFlipMul(s.accum, fields[ki], complex(k.Weight, 0))
+	}
+	s.inverseBanded(s.accum, bank.Radius())
+}
+
+// adjointStreaming is the low-memory adjoint: per-kernel fields stream
+// through a single scratch buffer instead of the retained batch.
+func (s *Simulator) adjointStreaming(bank *optics.Bank, maskSpec *grid.CField, w *grid.Field) {
+	s.zeroAccumBand(bank.Radius())
 	for _, k := range bank.Kernels {
 		// E_k = IFFT(spec_k ∘ Mhat)
-		k.MulInto(s.field, maskSpec)
-		s.plan.Inverse(s.field)
+		k.MulIntoBand(s.field, maskSpec)
+		s.inverseBanded(s.field, k.R)
 		// amp = W ⊙ conj(E_k)
-		for i := range s.ampSpec.Data {
-			e := s.field.Data[i]
-			s.ampSpec.Data[i] = complex(w.Data[i], 0) * complex(real(e), -imag(e))
-		}
-		s.plan.Forward(s.ampSpec)
+		s.eng.ForChunk(len(s.ampSpec.Data), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := s.field.Data[i]
+				s.ampSpec.Data[i] = complex(w.Data[i], 0) * complex(real(e), -imag(e))
+			}
+		})
+		s.single[0] = s.ampSpec
+		s.batch.BatchForwardBandedCols(s.single[:], k.R)
 		// accum += μ_k · amp_spec ∘ spec(flip(h_k))
 		k.AccumFlipMul(s.accum, s.ampSpec, complex(k.Weight, 0))
 	}
-	s.plan.Inverse(s.accum)
-	for i := range grad.Data {
-		grad.Data[i] += weight * 2 * real(s.accum.Data[i])
-	}
+	s.inverseBanded(s.accum, bank.Radius())
+}
+
+// applyGradient adds weight·2·Re{accum} into grad.
+func (s *Simulator) applyGradient(grad *grid.Field, weight float64) {
+	s.eng.ForChunk(len(grad.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			grad.Data[i] += weight * 2 * real(s.accum.Data[i])
+		}
+	})
 }
 
 // CostAt returns ‖R − target‖² for the sigmoid resist image r.

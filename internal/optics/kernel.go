@@ -65,6 +65,38 @@ func (k Kernel) MulInto(dst, src *grid.CField) {
 	}
 }
 
+// MulIntoBand sets dst = src ⊙ spectrum(h_k) like MulInto, but touches
+// only the wrapped row band |v| ≤ R: band rows are zeroed and the box
+// product written into them, while rows outside the band are left with
+// whatever stale data they held. It pairs with the band-limited inverse
+// transform (fft.BatchPlan2D.BatchInverseBanded), which never reads
+// outside the band and treats it as exactly zero — together they are
+// bit-identical to MulInto followed by a full inverse, at a fraction of
+// the memory traffic.
+func (k Kernel) MulIntoBand(dst, src *grid.CField) {
+	if !dst.SameShape(src) {
+		panic("optics: MulIntoBand shape mismatch")
+	}
+	n := dst.W
+	k.checkGrid(n)
+	side := k.boxSide()
+	for bv := 0; bv < side; bv++ {
+		v := bv - k.R
+		row := dst.Data[gridIndex(0, v, n) : gridIndex(0, v, n)+n]
+		for i := range row {
+			row[i] = 0
+		}
+		for bu := 0; bu < side; bu++ {
+			c := k.Box.Data[bv*side+bu]
+			if c == 0 {
+				continue
+			}
+			gi := gridIndex(bu-k.R, v, n)
+			dst.Data[gi] = src.Data[gi] * c
+		}
+	}
+}
+
 // AccumFlipMul accumulates dst += w · src ⊙ spectrum(flip(h_k)), the
 // adjoint ("h†") multiply of the ILT gradient (Eq. 11). The flipped
 // spectrum's support is the mirrored box, handled by index reflection.

@@ -238,6 +238,20 @@ func (b *Bank) SpatialKernel(k int, eng *engine.Engine) *grid.CField {
 // K returns the number of kernels in the bank.
 func (b *Bank) K() int { return len(b.Kernels) }
 
+// Radius returns the spectral band half-width (in frequency bins)
+// covering every kernel in the bank, the band the pruned FFT passes may
+// restrict themselves to. All kernels of a bank share the same box
+// radius by construction; the max is taken defensively.
+func (b *Bank) Radius() int {
+	r := b.Combined.R
+	for _, k := range b.Kernels {
+		if k.R > r {
+			r = k.R
+		}
+	}
+	return r
+}
+
 // WeightSum returns Σ μ_k (1 after normalisation).
 func (b *Bank) WeightSum() float64 {
 	s := 0.0

@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench benchjson check
+.PHONY: all build test race vet bench benchjson benchsessions check
 
 all: check
 
@@ -21,10 +21,11 @@ test:
 	$(GO) test ./...
 
 # The packages whose correctness depends on goroutine scheduling: the
-# engine worker pool, the batched FFT passes, and the litho paths that
-# fan kernels/corners across workers.
+# engine worker pool, the batched FFT passes, the litho paths that fan
+# kernels/corners across workers, the session runtime (pool + banks),
+# and the root package's concurrent-pipeline equivalence tests.
 race:
-	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core
+	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/rt .
 
 vet:
 	$(GO) vet ./...
@@ -34,5 +35,10 @@ bench:
 
 benchjson:
 	$(GO) run ./cmd/benchjson -label after
+
+# Concurrent-session throughput (layouts/sec at 1, 2, NumCPU sessions)
+# versus the dedicated-pipeline-per-job architecture.
+benchsessions:
+	$(GO) run ./cmd/benchjson -sessions -label after
 
 check: build vet test race

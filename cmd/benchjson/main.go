@@ -5,6 +5,7 @@
 //
 //	go run ./cmd/benchjson -label after
 //	go run ./cmd/benchjson -label seed -o BENCH_batchfft.json
+//	go run ./cmd/benchjson -sessions -label after
 //
 // Each benchmark is executed with the standard testing.Benchmark driver,
 // so ns/op, B/op, and allocs/op match `go test -bench` output.
@@ -55,14 +56,25 @@ type File struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_batchfft.json", "output JSON file (merged in place)")
+	out := flag.String("o", "", "output JSON file (merged in place)")
 	label := flag.String("label", "", "run label, e.g. seed or after (required)")
 	note := flag.String("note", "", "free-form note stored with the run")
 	filter := flag.String("bench", "", "substring filter on benchmark names")
+	sessions := flag.Bool("sessions", false, "measure concurrent-session throughput instead (BENCH_sessions.json)")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
 		os.Exit(2)
+	}
+	if *sessions {
+		if *out == "" {
+			*out = "BENCH_sessions.json"
+		}
+		sessionsMain(*out, *label, *note)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_batchfft.json"
 	}
 
 	benches := benchmarks()

@@ -1,0 +1,213 @@
+package main
+
+// Concurrent-throughput mode (-sessions): how many full level-set
+// optimization jobs per second the runtime sustains across the ten
+// ICCAD benchmarks, comparing
+//
+//   - dedicated-pipelines — the pre-session architecture: every job
+//     synthesises its own SOCS kernel banks and allocates fresh
+//     simulator scratch (what N duplicated Pipelines used to cost);
+//   - sessions/1, sessions/2, sessions/N — one shared resource bank with
+//     1, 2, and NumCPU concurrent sessions leasing pooled scratch, the
+//     jobs fanned across goroutines on an Engine.Split partition.
+//
+// Every mode runs the identical core optimization (same schedule, same
+// iteration budget), so the delta is purely the resource architecture.
+// Results land in BENCH_sessions.json keyed by run label.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"lsopc"
+	"lsopc/internal/core"
+	"lsopc/internal/grid"
+	"lsopc/internal/litho"
+	"lsopc/internal/optics"
+)
+
+// SessionsMeasurement is one throughput mode's outcome.
+type SessionsMeasurement struct {
+	Sessions      int     `json:"sessions"`
+	Layouts       int     `json:"layouts"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	LayoutsPerSec float64 `json:"layouts_per_sec"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// SessionsRun is one labelled sweep of all modes.
+type SessionsRun struct {
+	Timestamp  string                         `json:"timestamp"`
+	GoMaxProcs int                            `json:"gomaxprocs"`
+	NumCPU     int                            `json:"numcpu"`
+	MaxIter    int                            `json:"max_iter"`
+	Note       string                         `json:"note,omitempty"`
+	Modes      map[string]SessionsMeasurement `json:"modes"`
+}
+
+// SessionsFile is the BENCH_sessions.json artefact.
+type SessionsFile struct {
+	Description string                 `json:"description"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	Runs        map[string]SessionsRun `json:"runs"`
+}
+
+const sessionsMaxIter = 5
+
+// optimizeJob is the unit of work every mode runs per layout: a full
+// level-set optimization against the rasterised target.
+func optimizeJob(sim *litho.Simulator, target *grid.Field) error {
+	opts := core.DefaultOptions()
+	opts.MaxIter = sessionsMaxIter
+	opt, err := core.New(sim, target, opts)
+	if err != nil {
+		return err
+	}
+	defer opt.Release()
+	_, err = opt.Run()
+	return err
+}
+
+func sessionsMain(out, label, note string) {
+	eng := lsopc.GPUEngine()
+	pipe, err := lsopc.NewPipeline(lsopc.PresetTest, eng)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pipe.Simulator().Config()
+
+	// Targets are rasterised once up front; every mode optimizes the
+	// same images.
+	specs := lsopc.Benchmarks()
+	targets := make([]*grid.Field, len(specs))
+	for i, s := range specs {
+		t, err := pipe.Target(lsopc.Benchmark(s.ID))
+		if err != nil {
+			fatal(err)
+		}
+		targets[i] = t
+	}
+
+	run := SessionsRun{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		MaxIter:    sessionsMaxIter,
+		Note:       note,
+		Modes:      map[string]SessionsMeasurement{},
+	}
+
+	// Before: one dedicated pipeline per job, kernel banks re-derived
+	// every time (bypassing the memoized bank cache via optics.NewBank).
+	fmt.Fprintf(os.Stderr, "running %-24s ", "dedicated-pipelines")
+	start := time.Now()
+	for i := range targets {
+		nom, err := optics.NewBank(cfg.Optics, 0, eng)
+		if err != nil {
+			fatal(err)
+		}
+		def, err := optics.NewBank(cfg.Optics, cfg.DefocusNM, eng)
+		if err != nil {
+			fatal(err)
+		}
+		sim, err := litho.NewWithBanks(cfg, eng, nom, def)
+		if err != nil {
+			fatal(err)
+		}
+		err = optimizeJob(sim, targets[i])
+		sim.Release()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	record(&run, "dedicated-pipelines", 1, len(targets), time.Since(start),
+		"per-job kernel-bank synthesis and scratch (pre-session architecture)")
+
+	// After: 1, 2, and NumCPU concurrent sessions over one shared bank.
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	for _, k := range counts {
+		name := fmt.Sprintf("sessions/%d", k)
+		fmt.Fprintf(os.Stderr, "running %-24s ", name)
+		sessions, err := pipe.Sessions(k)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, k)
+		for w := 0; w < k; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(targets); i += k {
+					if err := optimizeJob(sessions[w].Simulator(), targets[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				fatal(err)
+			}
+		}
+		for _, s := range sessions {
+			s.Close()
+		}
+		record(&run, name, k, len(targets), elapsed, "shared bank, pooled scratch")
+	}
+
+	file := SessionsFile{
+		Description: "Concurrent optimization throughput (layouts/sec over the ten ICCAD benchmarks at PresetTest scale, MaxIter=5). dedicated-pipelines re-derives kernel banks per job like the pre-session architecture; sessions/k runs k concurrent sessions over one shared resource bank.",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Runs:        map[string]SessionsRun{},
+	}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	if file.Runs == nil {
+		file.Runs = map[string]SessionsRun{}
+	}
+	file.Runs[label] = run
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (label %q, %d modes)\n", out, label, len(run.Modes))
+}
+
+func record(run *SessionsRun, name string, k, layouts int, elapsed time.Duration, note string) {
+	m := SessionsMeasurement{
+		Sessions:      k,
+		Layouts:       layouts,
+		ElapsedSec:    elapsed.Seconds(),
+		LayoutsPerSec: float64(layouts) / elapsed.Seconds(),
+		Note:          note,
+	}
+	run.Modes[name] = m
+	fmt.Fprintf(os.Stderr, "%8.2fs  %6.2f layouts/sec\n", m.ElapsedSec, m.LayoutsPerSec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/litho"
+)
+
+// allocOpts returns an option set whose steady-state iteration touches
+// no allocating side channel: no reinitialisation (replaces ψ), no
+// snapshots (clones the mask), and an iteration budget big enough that
+// the pre-sized history slice never regrows.
+func allocOpts(budget int) Options {
+	opts := DefaultOptions()
+	opts.MaxIter = budget
+	opts.ReinitEvery = 0
+	opts.SnapshotEvery = 0
+	opts.Tolerance = 0 // never converge inside the measured window
+	return opts
+}
+
+// warmOptimizer builds an optimizer mid-run: start() done and one step
+// taken, so every lazily-reached path is already warm.
+func warmOptimizer(t testing.TB, sim *litho.Simulator, target *grid.Field, budget int) *Optimizer {
+	o, err := New(sim, target, allocOpts(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.start(); err != nil {
+		t.Fatal(err)
+	}
+	o.step(0)
+	return o
+}
+
+func TestIterationZeroAllocWarm(t *testing.T) {
+	sim := newTestSim(t, 4)
+	o := warmOptimizer(t, sim, crossTarget(64), 1000)
+	defer o.Release()
+	iter := 1
+	if avg := testing.AllocsPerRun(20, func() {
+		o.step(iter)
+		iter++
+	}); avg != 0 {
+		t.Fatalf("warm level-set iteration allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func BenchmarkLevelSetIteration(b *testing.B) {
+	sim := newTestSimB(b, 8)
+	o := warmOptimizer(b, sim, crossTarget(64), b.N+2)
+	defer o.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.step(i + 1)
+	}
+}
+
+// newTestSimB mirrors newTestSim for benchmarks.
+func newTestSimB(b *testing.B, kernels int) *litho.Simulator {
+	b.Helper()
+	cfg := litho.DefaultConfig(64, 32)
+	cfg.Optics.Kernels = kernels
+	s, err := litho.NewSimulator(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}

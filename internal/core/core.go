@@ -25,6 +25,7 @@ import (
 	"lsopc/internal/levelset"
 	"lsopc/internal/litho"
 	"lsopc/internal/metrics"
+	"lsopc/internal/rt"
 )
 
 // Options configures the optimizer. DefaultOptions gives the paper's
@@ -178,17 +179,48 @@ func (r *Result) BestCost() float64 {
 }
 
 // Optimizer runs level-set ILT for one target. Not safe for concurrent
-// use (it owns the simulator's scratch).
+// use (it owns the simulator's scratch). All of its working memory is
+// leased from the simulator's pool at construction and returned by
+// Release, and the per-iteration engine tasks are bound once, so the
+// steady-state iteration allocates nothing.
 type Optimizer struct {
 	sim    *litho.Simulator
 	target *grid.Field
 	opts   Options
+	pool   *rt.Pool
 	// corners holds one worker per process corner when the PV-band cost
 	// is active: the three corners simulate concurrently on sibling
 	// simulators scheduled on Split sub-engines, so the corner fan-out
 	// and the per-corner FFT fan-out compose without oversubscription.
 	// nil when PVBWeight == 0 (nominal-only optimization).
 	corners []*cornerWorker
+	// Pre-bound engine tasks (created once; see simulateCorners and
+	// costAtPsi).
+	cornerTasks []func()
+	costTasks   []func()
+	combineBody func(lo, hi int)
+
+	// Leased run scratch, returned by Release.
+	mask     *grid.Field
+	maskSpec *grid.CField
+	imgs     *litho.CornerImages
+	grad     *grid.Field // G_i (Eq. 14)
+	gmag     *grid.Field // |∇ψ_i|
+	gTerm    *grid.Field // g_i = G_i·|∇ψ_i|
+	gPrev    *grid.Field // g_{i-1}
+	velocity *grid.Field // v_i
+	curv     *grid.Field // nil unless CurvatureWeight > 0
+	psiCand  *grid.Field // nil unless LineSearch
+	bestMask *grid.Field // nil unless KeepBest
+	bestPsi  *grid.Field // nil unless KeepBest
+
+	// Per-run state reset by start.
+	psi      *grid.Field // level-set function (reallocated by reinit)
+	res      *Result
+	lambdaT  float64
+	bestCost float64
+
+	released bool
 }
 
 // cornerWorker bundles one process corner's simulator and result
@@ -220,12 +252,14 @@ func New(sim *litho.Simulator, target *grid.Field, opts Options) (*Optimizer, er
 	if target.W != n || target.H != n {
 		return nil, fmt.Errorf("%w: target %dx%d, grid %d", ErrShapeMismatch, target.W, target.H, n)
 	}
-	o := &Optimizer{sim: sim, target: target, opts: opts}
+	o := &Optimizer{sim: sim, target: target, opts: opts, pool: sim.Pool()}
+	pool := o.pool
 	if opts.PVBWeight > 0 {
 		subs := sim.Engine().Split(len(litho.AllConditions))
 		for i, cond := range litho.AllConditions {
 			csim, err := sim.Sibling(subs[i])
 			if err != nil {
+				o.Release()
 				return nil, err
 			}
 			weight := 1.0
@@ -236,244 +270,306 @@ func New(sim *litho.Simulator, target *grid.Field, opts Options) (*Optimizer, er
 				sim:    csim,
 				cond:   cond,
 				weight: weight,
-				grad:   grid.NewField(n, n),
-				imgs:   litho.NewCornerImages(n),
+				grad:   pool.Field(n, n),
+				imgs:   litho.LeaseCornerImages(pool, n),
 			})
 		}
+		// Bind the per-corner simulate and cost-probe tasks and the
+		// gradient combine once, so each iteration reuses them.
+		o.cornerTasks = make([]func(), len(o.corners))
+		o.costTasks = make([]func(), len(o.corners))
+		for i := range o.corners {
+			c := o.corners[i]
+			o.cornerTasks[i] = func() {
+				c.grad.Zero()
+				c.cost = c.sim.ForwardAndGradient(c.grad, o.maskSpec, c.cond, o.target, c.imgs, c.weight)
+			}
+			o.costTasks[i] = func() {
+				c.sim.Forward(c.imgs, o.maskSpec, c.cond)
+				c.cost = litho.CostAt(c.imgs.R, o.target)
+			}
+		}
+		o.combineBody = func(lo, hi int) {
+			d := o.grad.Data
+			g0 := o.corners[0].grad.Data
+			g1 := o.corners[1].grad.Data
+			g2 := o.corners[2].grad.Data
+			for j := lo; j < hi; j++ {
+				d[j] = g0[j] + g1[j] + g2[j]
+			}
+		}
+	}
+	o.mask = pool.Field(n, n)
+	o.maskSpec = pool.CField(n, n)
+	o.imgs = litho.LeaseCornerImages(pool, n)
+	o.grad = pool.Field(n, n)
+	o.gmag = pool.Field(n, n)
+	o.gTerm = pool.Field(n, n)
+	o.gPrev = pool.Field(n, n)
+	o.velocity = pool.Field(n, n)
+	if opts.CurvatureWeight > 0 {
+		o.curv = pool.Field(n, n)
+	}
+	if opts.LineSearch {
+		o.psiCand = pool.Field(n, n)
+	}
+	if opts.KeepBest {
+		o.bestMask = pool.Field(n, n)
+		o.bestPsi = pool.Field(n, n)
 	}
 	return o, nil
+}
+
+// Release returns the optimizer's leased scratch (including the sibling
+// corner sessions) to the pool. The simulator passed to New is caller-
+// owned and not touched. Results returned by Run remain valid: they own
+// their fields. Release is idempotent and nil-safe.
+func (o *Optimizer) Release() {
+	if o == nil || o.released {
+		return
+	}
+	o.released = true
+	pool := o.pool
+	for _, c := range o.corners {
+		c.sim.Release()
+		pool.PutField(c.grad)
+		c.imgs.ReleaseTo(pool)
+		c.grad, c.imgs = nil, nil
+	}
+	o.corners, o.cornerTasks, o.costTasks, o.combineBody = nil, nil, nil, nil
+	pool.PutField(o.mask)
+	pool.PutCField(o.maskSpec)
+	o.imgs.ReleaseTo(pool)
+	for _, f := range []*grid.Field{o.grad, o.gmag, o.gTerm, o.gPrev, o.velocity, o.curv, o.psiCand, o.bestMask, o.bestPsi} {
+		pool.PutField(f)
+	}
+	o.mask, o.maskSpec, o.imgs = nil, nil, nil
+	o.grad, o.gmag, o.gTerm, o.gPrev, o.velocity = nil, nil, nil, nil, nil
+	o.curv, o.psiCand, o.bestMask, o.bestPsi, o.psi = nil, nil, nil, nil, nil
 }
 
 // simulateCorners runs ForwardAndGradient for all three corners
 // concurrently (each on its own sibling simulator and sub-engine) and
 // leaves per-corner costs and gradients in the workers.
-func (o *Optimizer) simulateCorners(maskSpec *grid.CField) {
-	tasks := make([]func(), len(o.corners))
-	for i := range o.corners {
-		c := o.corners[i]
-		tasks[i] = func() {
-			c.grad.Zero()
-			c.cost = c.sim.ForwardAndGradient(c.grad, maskSpec, c.cond, o.target, c.imgs, c.weight)
-		}
-	}
-	o.sim.Engine().Parallel(tasks...)
+func (o *Optimizer) simulateCorners() {
+	o.sim.Engine().Parallel(o.cornerTasks...)
 }
 
-// Run executes Algorithm 1 and returns the optimized mask.
+// Run executes Algorithm 1 and returns the optimized mask. The result
+// owns its fields, so it stays valid after Release.
 func (o *Optimizer) Run() (*Result, error) {
-	n := o.sim.GridSize()
+	if err := o.start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < o.opts.MaxIter; i++ {
+		if o.step(i) {
+			break
+		}
+	}
+	return o.finish(), nil
+}
 
-	// Initialisation (line 1): M₀ = R* (or the supplied warm start),
-	// ψ₀ = signed distance of M₀.
+// start initialises the run state (Algorithm 1, line 1): M₀ = R* (or
+// the supplied warm start), ψ₀ = signed distance of M₀.
+func (o *Optimizer) start() error {
+	n := o.sim.GridSize()
 	init := o.target
 	if o.opts.InitialMask != nil {
 		if o.opts.InitialMask.W != n || o.opts.InitialMask.H != n {
-			return nil, fmt.Errorf("%w: initial mask %dx%d, grid %d",
+			return fmt.Errorf("%w: initial mask %dx%d, grid %d",
 				ErrShapeMismatch, o.opts.InitialMask.W, o.opts.InitialMask.H, n)
 		}
 		init = o.opts.InitialMask
 	}
-	psi := levelset.SignedDistance(init)
-	mask := grid.NewField(n, n)
-	maskSpec := grid.NewCField(n, n)
-	imgs := litho.NewCornerImages(n)
+	o.psi = levelset.SignedDistance(init)
+	o.res = &Result{History: make([]IterStats, 0, o.opts.MaxIter)}
+	o.lambdaT = o.opts.LambdaT
+	o.bestCost = math.Inf(1)
+	return nil
+}
 
-	grad := grid.NewField(n, n)     // G_i (Eq. 14)
-	gmag := grid.NewField(n, n)     // |∇ψ_i|
-	gTerm := grid.NewField(n, n)    // g_i = G_i·|∇ψ_i|
-	gPrev := grid.NewField(n, n)    // g_{i-1}
-	velocity := grid.NewField(n, n) // v_i
-	var curv *grid.Field
+// lineSearchFactors are the step multiples probed by Options.LineSearch.
+var lineSearchFactors = [3]float64{0.5, 1, 2}
+
+// step runs one iteration of Algorithm 1 and reports whether the loop
+// should stop. All scratch lives on the optimizer and every engine task
+// is pre-bound, so a steady-state step performs no allocations.
+func (o *Optimizer) step(i int) (stop bool) {
+	res := o.res
+	// Lines 7–8: extract mask, simulate, accumulate gradient.
+	levelset.MaskFromPsi(o.mask, o.psi)
+	o.sim.MaskSpectrumInto(o.maskSpec, o.mask)
+
+	var costNom, costPVB float64
+	if o.corners != nil {
+		// All three corners concurrently; combine gradients in the
+		// fixed nominal→outer→inner order so the sum matches the
+		// serial accumulation bit-for-bit on any engine.
+		o.simulateCorners()
+		costNom = o.corners[0].cost
+		costPVB = o.corners[1].cost + o.corners[2].cost
+		o.sim.Engine().ForChunk(len(o.grad.Data), o.combineBody)
+	} else {
+		o.grad.Zero()
+		costNom = o.sim.ForwardAndGradient(o.grad, o.maskSpec, litho.Nominal, o.target, o.imgs, 1)
+	}
+
+	// Velocity (Eq. 10 with our sign convention): v = +G·|∇ψ|.
+	// The paper writes v = −∂L/∂M·|∇ψ| for its ψ orientation; with
+	// ψ < 0 inside and M = H(−ψ) (Eqs. 5–6), dL/dt = −⟨G·δ(ψ), v⟩,
+	// so descent requires v = +G|∇ψ|: raising ψ where ∂L/∂M > 0
+	// retracts the contour there. The PRP momentum term (Eqs.
+	// 15–16) is added when CG is enabled.
+	if o.opts.UseUpwind {
+		// The upwind stencil selects one-sided differences by the
+		// sign of the advection speed, which is G here.
+		levelset.GradMagUpwind(o.gmag, o.psi, o.grad)
+	} else {
+		levelset.GradMag(o.gmag, o.psi)
+	}
+	o.gTerm.Mul(o.grad, o.gmag)
+
+	lambda := 0.0
+	if o.opts.UseCG && i > 0 {
+		lambda = prpCoefficient(o.gTerm, o.gPrev)
+	}
+	if lambda == 0 {
+		o.velocity.CopyFrom(o.gTerm)
+	} else {
+		// v_i = g_i + λ·v_{i−1}; velocity still holds v_{i−1}.
+		for j := range o.velocity.Data {
+			o.velocity.Data[j] = o.gTerm.Data[j] + lambda*o.velocity.Data[j]
+		}
+		// Restart safeguard: the conjugate direction must remain a
+		// descent direction (positively aligned with g, since the
+		// update applies +v). A contour that jumped pixels can
+		// decorrelate the gradients enough to violate this.
+		if o.velocity.Dot(o.gTerm) <= 0 {
+			lambda = 0
+			o.velocity.CopyFrom(o.gTerm)
+		}
+	}
 	if o.opts.CurvatureWeight > 0 {
-		curv = grid.NewField(n, n)
+		// Mean-curvature smoothing: ψ_t += w·κ|∇ψ| erodes
+		// high-curvature protrusions (κ > 0 on convex contour
+		// segments for ψ < 0 inside).
+		levelset.Curvature(o.curv, o.psi)
+		o.curv.Mul(o.curv, o.gmag)
+		o.velocity.AddScaled(o.curv, o.opts.CurvatureWeight)
 	}
+	o.gPrev.CopyFrom(o.gTerm)
 
-	res := &Result{}
-	lambdaT := o.opts.LambdaT
-	bestCost := math.Inf(1)
-	var bestMask, bestPsi, psiCand *grid.Field
-	for i := 0; i < o.opts.MaxIter; i++ {
-		// Lines 7–8: extract mask, simulate, accumulate gradient.
-		levelset.MaskFromPsi(mask, psi)
-		o.sim.MaskSpectrumInto(maskSpec, mask)
-
-		var costNom, costPVB float64
-		if o.corners != nil {
-			// All three corners concurrently; combine gradients in the
-			// fixed nominal→outer→inner order so the sum matches the
-			// serial accumulation bit-for-bit on any engine.
-			o.simulateCorners(maskSpec)
-			costNom = o.corners[0].cost
-			costPVB = o.corners[1].cost + o.corners[2].cost
-			g0, g1, g2 := o.corners[0].grad.Data, o.corners[1].grad.Data, o.corners[2].grad.Data
-			o.sim.Engine().ForChunk(len(grad.Data), func(lo, hi int) {
-				for j := lo; j < hi; j++ {
-					grad.Data[j] = g0[j] + g1[j] + g2[j]
-				}
-			})
-		} else {
-			grad.Zero()
-			costNom = o.sim.ForwardAndGradient(grad, maskSpec, litho.Nominal, o.target, imgs, 1)
-		}
-
-		// Velocity (Eq. 10 with our sign convention): v = +G·|∇ψ|.
-		// The paper writes v = −∂L/∂M·|∇ψ| for its ψ orientation; with
-		// ψ < 0 inside and M = H(−ψ) (Eqs. 5–6), dL/dt = −⟨G·δ(ψ), v⟩,
-		// so descent requires v = +G|∇ψ|: raising ψ where ∂L/∂M > 0
-		// retracts the contour there. The PRP momentum term (Eqs.
-		// 15–16) is added when CG is enabled.
-		if o.opts.UseUpwind {
-			// The upwind stencil selects one-sided differences by the
-			// sign of the advection speed, which is G here.
-			levelset.GradMagUpwind(gmag, psi, grad)
-		} else {
-			levelset.GradMag(gmag, psi)
-		}
-		gTerm.Mul(grad, gmag)
-
-		lambda := 0.0
-		if o.opts.UseCG && i > 0 {
-			lambda = prpCoefficient(gTerm, gPrev)
-		}
-		if lambda == 0 {
-			velocity.CopyFrom(gTerm)
-		} else {
-			// v_i = g_i + λ·v_{i−1}; velocity still holds v_{i−1}.
-			for j := range velocity.Data {
-				velocity.Data[j] = gTerm.Data[j] + lambda*velocity.Data[j]
-			}
-			// Restart safeguard: the conjugate direction must remain a
-			// descent direction (positively aligned with g, since the
-			// update applies +v). A contour that jumped pixels can
-			// decorrelate the gradients enough to violate this.
-			if velocity.Dot(gTerm) <= 0 {
-				lambda = 0
-				velocity.CopyFrom(gTerm)
-			}
-		}
-		if o.opts.CurvatureWeight > 0 {
-			// Mean-curvature smoothing: ψ_t += w·κ|∇ψ| erodes
-			// high-curvature protrusions (κ > 0 on convex contour
-			// segments for ψ < 0 inside).
-			levelset.Curvature(curv, psi)
-			curv.Mul(curv, gmag)
-			velocity.AddScaled(curv, o.opts.CurvatureWeight)
-		}
-		gPrev.CopyFrom(gTerm)
-
-		// Narrow-band restriction: freeze ψ away from the contour.
-		if band := o.opts.BandWidthPx; band > 0 {
-			for j, p := range psi.Data {
-				if p > band || p < -band {
-					velocity.Data[j] = 0
-				}
-			}
-		}
-
-		costTotal := costNom + o.opts.PVBWeight*costPVB
-		// Feedback time-step control (line 5's "choose a proper time
-		// step"): shrink λ_t after an overshoot, recover slowly.
-		if o.opts.AdaptiveStep && i > 0 {
-			if costTotal > res.History[i-1].CostTotal {
-				lambdaT = math.Max(lambdaT*0.5, o.opts.LambdaT/16)
-			} else {
-				lambdaT = math.Min(lambdaT*1.1, o.opts.LambdaT)
-			}
-		}
-		if o.opts.KeepBest && costTotal < bestCost {
-			bestCost = costTotal
-			bestMask = mask.Clone()
-			bestPsi = psi.Clone()
-		}
-
-		// Record stats before the update so the trace reflects the
-		// state the velocity was computed from.
-		maxV := velocity.MaxAbs()
-		dt := levelset.TimeStep(lambdaT, velocity)
-		res.History = append(res.History, IterStats{
-			Iter:        i,
-			CostNominal: costNom,
-			CostPVB:     costPVB,
-			CostTotal:   costTotal,
-			MaxVelocity: maxV,
-			TimeStep:    dt,
-			LambdaPRP:   lambda,
-		})
-		if o.opts.SnapshotEvery > 0 && i%o.opts.SnapshotEvery == 0 {
-			res.Snapshots = append(res.Snapshots, Snapshot{Iter: i, Mask: mask.Clone()})
-		}
-
-		res.Iterations = i + 1
-		// Line 12: stop when the front has stalled.
-		if maxV <= o.opts.Tolerance {
-			res.Converged = true
-			break
-		}
-
-		// Optional exact line search over the step size (reference [9]'s
-		// optimal time step): probe {½, 1, 2}× the CFL step.
-		if o.opts.LineSearch && dt > 0 {
-			if psiCand == nil {
-				psiCand = grid.NewField(n, n)
-			}
-			bestDt, bestC := dt, math.Inf(1)
-			for _, f := range []float64{0.5, 1, 2} {
-				cand := dt * f
-				psiCand.CopyFrom(psi)
-				psiCand.AddScaled(velocity, cand)
-				if c := o.costAtPsi(psiCand, mask, maskSpec, imgs); c < bestC {
-					bestC, bestDt = c, cand
-				}
-			}
-			dt = bestDt
-			res.History[len(res.History)-1].TimeStep = dt
-		}
-
-		// Lines 5–6: CFL step and level-set update.
-		levelset.Evolve(psi, velocity, dt)
-
-		// Periodic reinitialisation keeps ψ a signed distance function.
-		if o.opts.ReinitEvery > 0 && (i+1)%o.opts.ReinitEvery == 0 {
-			if o.opts.SubpixelReinit {
-				psi = levelset.ReinitializeFMM(psi)
-			} else {
-				psi = levelset.Reinitialize(psi)
+	// Narrow-band restriction: freeze ψ away from the contour.
+	if band := o.opts.BandWidthPx; band > 0 {
+		for j, p := range o.psi.Data {
+			if p > band || p < -band {
+				o.velocity.Data[j] = 0
 			}
 		}
 	}
 
-	levelset.MaskFromPsi(mask, psi)
-	res.Mask = mask
-	res.Psi = psi
-	if o.opts.KeepBest && bestMask != nil {
-		res.Mask = bestMask
-		res.Psi = bestPsi
+	costTotal := costNom + o.opts.PVBWeight*costPVB
+	// Feedback time-step control (line 5's "choose a proper time
+	// step"): shrink λ_t after an overshoot, recover slowly.
+	if o.opts.AdaptiveStep && i > 0 {
+		if costTotal > res.History[i-1].CostTotal {
+			o.lambdaT = math.Max(o.lambdaT*0.5, o.opts.LambdaT/16)
+		} else {
+			o.lambdaT = math.Min(o.lambdaT*1.1, o.opts.LambdaT)
+		}
+	}
+	if o.opts.KeepBest && costTotal < o.bestCost {
+		o.bestCost = costTotal
+		o.bestMask.CopyFrom(o.mask)
+		o.bestPsi.CopyFrom(o.psi)
+	}
+
+	// Record stats before the update so the trace reflects the
+	// state the velocity was computed from.
+	maxV := o.velocity.MaxAbs()
+	dt := levelset.TimeStep(o.lambdaT, o.velocity)
+	res.History = append(res.History, IterStats{
+		Iter:        i,
+		CostNominal: costNom,
+		CostPVB:     costPVB,
+		CostTotal:   costTotal,
+		MaxVelocity: maxV,
+		TimeStep:    dt,
+		LambdaPRP:   lambda,
+	})
+	if o.opts.SnapshotEvery > 0 && i%o.opts.SnapshotEvery == 0 {
+		res.Snapshots = append(res.Snapshots, Snapshot{Iter: i, Mask: o.mask.Clone()})
+	}
+
+	res.Iterations = i + 1
+	// Line 12: stop when the front has stalled.
+	if maxV <= o.opts.Tolerance {
+		res.Converged = true
+		return true
+	}
+
+	// Optional exact line search over the step size (reference [9]'s
+	// optimal time step): probe {½, 1, 2}× the CFL step.
+	if o.opts.LineSearch && dt > 0 {
+		bestDt, bestC := dt, math.Inf(1)
+		for _, f := range lineSearchFactors {
+			cand := dt * f
+			o.psiCand.CopyFrom(o.psi)
+			o.psiCand.AddScaled(o.velocity, cand)
+			if c := o.costAtPsi(o.psiCand); c < bestC {
+				bestC, bestDt = c, cand
+			}
+		}
+		dt = bestDt
+		res.History[len(res.History)-1].TimeStep = dt
+	}
+
+	// Lines 5–6: CFL step and level-set update.
+	levelset.Evolve(o.psi, o.velocity, dt)
+
+	// Periodic reinitialisation keeps ψ a signed distance function.
+	if o.opts.ReinitEvery > 0 && (i+1)%o.opts.ReinitEvery == 0 {
+		if o.opts.SubpixelReinit {
+			o.psi = levelset.ReinitializeFMM(o.psi)
+		} else {
+			o.psi = levelset.Reinitialize(o.psi)
+		}
+	}
+	return false
+}
+
+// finish assembles the result. Mask and ψ are cloned out of the leased
+// scratch so the result survives Release.
+func (o *Optimizer) finish() *Result {
+	res := o.res
+	levelset.MaskFromPsi(o.mask, o.psi)
+	if o.opts.KeepBest && !math.IsInf(o.bestCost, 1) {
+		res.Mask = o.bestMask.Clone()
+		res.Psi = o.bestPsi.Clone()
+	} else {
+		res.Mask = o.mask.Clone()
+		res.Psi = o.psi.Clone()
 	}
 	if o.opts.CleanupTinyPx > 0 {
 		metrics.RemoveTinyFeatures(res.Mask, o.opts.CleanupTinyPx, o.opts.CleanupTinyPx)
 	}
-	return res, nil
+	o.res = nil
+	return res
 }
 
 // costAtPsi evaluates the total cost (Eq. 13) of the mask induced by the
-// candidate level-set function, reusing the caller's scratch buffers.
-func (o *Optimizer) costAtPsi(psi, mask *grid.Field, maskSpec *grid.CField, imgs *litho.CornerImages) float64 {
-	levelset.MaskFromPsi(mask, psi)
-	o.sim.MaskSpectrumInto(maskSpec, mask)
+// candidate level-set function, reusing the optimizer's scratch buffers
+// (it overwrites mask and maskSpec; the caller recomputes them next
+// iteration).
+func (o *Optimizer) costAtPsi(psi *grid.Field) float64 {
+	levelset.MaskFromPsi(o.mask, psi)
+	o.sim.MaskSpectrumInto(o.maskSpec, o.mask)
 	if o.corners != nil {
-		tasks := make([]func(), len(o.corners))
-		for i := range o.corners {
-			c := o.corners[i]
-			tasks[i] = func() {
-				c.sim.Forward(c.imgs, maskSpec, c.cond)
-				c.cost = litho.CostAt(c.imgs.R, o.target)
-			}
-		}
-		o.sim.Engine().Parallel(tasks...)
+		o.sim.Engine().Parallel(o.costTasks...)
 		return o.corners[0].cost + o.opts.PVBWeight*o.corners[1].cost + o.opts.PVBWeight*o.corners[2].cost
 	}
-	o.sim.Forward(imgs, maskSpec, litho.Nominal)
-	return litho.CostAt(imgs.R, o.target)
+	o.sim.Forward(o.imgs, o.maskSpec, litho.Nominal)
+	return litho.CostAt(o.imgs.R, o.target)
 }
 
 // prpCoefficient computes the Polak–Ribière–Polyak coefficient (Eq. 16)

@@ -249,3 +249,71 @@ func TestString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+func TestSplitMorePartsThanWorkersStillExecutes(t *testing.T) {
+	// Oversubscribed partition: every sub-engine must still run its work
+	// to completion, serially, and cover every index exactly once.
+	subs := New("e", 2).Split(5)
+	if len(subs) != 5 {
+		t.Fatalf("Split(5) produced %d sub-engines", len(subs))
+	}
+	for i, sub := range subs {
+		if !sub.Serial() {
+			t.Fatalf("sub %d has %d workers, want serial", i, sub.Workers())
+		}
+		const n = 100
+		seen := make([]int, n)
+		sub.For(n, func(j int) { seen[j]++ })
+		sub.ForChunk(n, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				seen[j]++
+			}
+		})
+		sub.Map(n, func(worker, j int) {
+			if worker != 0 {
+				t.Errorf("sub %d: serial Map worker ordinal %d", i, worker)
+			}
+			seen[j]++
+		})
+		for j, c := range seen {
+			if c != 3 {
+				t.Fatalf("sub %d index %d visited %d times, want 3", i, j, c)
+			}
+		}
+	}
+}
+
+func TestSplitOfSerialEngine(t *testing.T) {
+	// Splitting one worker must not deadlock or lose work: every
+	// sub-engine is the degenerate serial engine.
+	subs := New("solo", 1).Split(3)
+	total := 0
+	for _, sub := range subs {
+		if sub.Workers() != 1 {
+			t.Fatalf("serial split produced %d workers", sub.Workers())
+		}
+		sub.ForChunk(10, func(lo, hi int) { total += hi - lo })
+	}
+	if total != 30 {
+		t.Fatalf("covered %d indices, want 30", total)
+	}
+}
+
+func TestZeroSizeWork(t *testing.T) {
+	// Zero-size parts must be complete no-ops on every primitive and
+	// every engine shape — the session layer hands sub-engines jobs whose
+	// per-part ranges can be empty.
+	for _, e := range []*Engine{New("e1", 1), New("e4", 4)} {
+		e.For(0, func(i int) { t.Error("For(0) invoked body") })
+		e.ForChunk(0, func(lo, hi int) {
+			if lo != hi {
+				t.Errorf("ForChunk(0) got range [%d,%d)", lo, hi)
+			}
+		})
+		e.Map(0, func(worker, i int) { t.Error("Map(0) invoked body") })
+		e.Parallel()
+		for _, sub := range e.Split(8) {
+			sub.For(0, func(i int) { t.Error("sub For(0) invoked body") })
+		}
+	}
+}

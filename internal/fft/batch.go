@@ -34,29 +34,198 @@ type BatchPlan2D struct {
 	colPlan *Plan // length h
 	eng     *engine.Engine
 	col     [][]complex128 // per-worker column gather scratch, colBlock·h
+
+	// Per-pass operands staged for the pre-bound engine bodies below.
+	// Binding the closures once at construction keeps every batched pass
+	// free of per-call closure allocations (engine bodies escape).
+	opFields    []*grid.CField
+	opInverse   bool
+	opBand      int // row/column band of the banded passes
+	opBlocks    int // column blocks per field (col passes)
+	opLowBlocks int // blocks in the low column run (colPassCols)
+
+	rowBody       func(lo, hi int)
+	rowBandedBody func(lo, hi int)
+	colBody       func(worker, i int)
+	colColsBody   func(worker, i int)
 }
 
 // NewBatchPlan2D creates a batched 2-D plan for w×h fields executed on
 // eng. Both dimensions must be powers of two.
 func NewBatchPlan2D(w, h int, eng *engine.Engine) *BatchPlan2D {
+	return NewBatchPlan2DFromPlans(CachedPlan(w), CachedPlan(h), eng, nil)
+}
+
+// BatchScratchLen returns the scratch element count a batch plan for
+// h-tall fields needs on an engine with the given worker count (one
+// colBlock-wide column gather buffer per worker). Callers leasing
+// scratch from a pool hand NewBatchPlan2DFromPlans a slice of at least
+// this length.
+func BatchScratchLen(h, workers int) int { return workers * colBlock * h }
+
+// NewBatchPlan2DFromPlans builds a batched 2-D plan around existing
+// (immutable, shared) 1-D plans, the session constructor mirroring
+// NewPlan2DFromPlans. scratch must be nil (allocate internally) or at
+// least BatchScratchLen(h, eng.Workers()) elements of caller-owned
+// memory, e.g. leased from an rt.Pool.
+func NewBatchPlan2DFromPlans(row, col *Plan, eng *engine.Engine, scratch []complex128) *BatchPlan2D {
+	w, h := row.N(), col.N()
 	if !grid.IsPow2(w) || !grid.IsPow2(h) {
 		panic(fmt.Sprintf("fft: grid %dx%d is not power-of-two", w, h))
 	}
 	if eng == nil {
 		eng = engine.CPU()
 	}
+	if scratch == nil {
+		scratch = make([]complex128, BatchScratchLen(h, eng.Workers()))
+	}
+	if len(scratch) < BatchScratchLen(h, eng.Workers()) {
+		panic(fmt.Sprintf("fft: batch scratch %d below required %d", len(scratch), BatchScratchLen(h, eng.Workers())))
+	}
 	p := &BatchPlan2D{
 		w:       w,
 		h:       h,
-		rowPlan: CachedPlan(w),
-		colPlan: CachedPlan(h),
+		rowPlan: row,
+		colPlan: col,
 		eng:     eng,
 		col:     make([][]complex128, eng.Workers()),
 	}
 	for i := range p.col {
-		p.col[i] = make([]complex128, colBlock*h)
+		p.col[i] = scratch[i*colBlock*h : (i+1)*colBlock*h]
 	}
+	p.bindBodies()
 	return p
+}
+
+// bindBodies creates the engine bodies once; each pass stages its
+// operands in the op* fields and reuses the bound closure.
+func (p *BatchPlan2D) bindBodies() {
+	p.rowBody = func(lo, hi int) {
+		w, h := p.w, p.h
+		fields, inverse := p.opFields, p.opInverse
+		for i := lo; i < hi; i++ {
+			data := fields[i/h].Data
+			r := i % h
+			row := data[r*w : (r+1)*w]
+			if inverse {
+				p.rowPlan.Inverse(row)
+			} else {
+				p.rowPlan.Forward(row)
+			}
+		}
+	}
+	p.rowBandedBody = func(lo, hi int) {
+		w, h := p.w, p.h
+		fields, band, inverse := p.opFields, p.opBand, p.opInverse
+		rows := 2*band + 1
+		for i := lo; i < hi; i++ {
+			data := fields[i/rows].Data
+			j := i % rows
+			r := j
+			if j > band {
+				r = h - rows + j
+			}
+			row := data[r*w : (r+1)*w]
+			if inverse {
+				p.rowPlan.Inverse(row)
+			} else {
+				p.rowPlan.Forward(row)
+			}
+		}
+	}
+	p.colBody = func(worker, i int) {
+		w, h := p.w, p.h
+		inBand, blocks := p.opBand, p.opBlocks
+		banded := inBand >= 0 && 2*inBand+1 < h
+		data := p.opFields[i/blocks].Data
+		x0 := (i % blocks) * colBlock
+		x1 := x0 + colBlock
+		if x1 > w {
+			x1 = w
+		}
+		nb := x1 - x0
+		s := p.col[worker]
+		gather := func(y int) {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				s[c*h+y] = data[base+c]
+			}
+		}
+		if banded {
+			for y := 0; y <= inBand; y++ {
+				gather(y)
+			}
+			for c := 0; c < nb; c++ {
+				seg := s[c*h : (c+1)*h]
+				for y := inBand + 1; y < h-inBand; y++ {
+					seg[y] = 0
+				}
+			}
+			for y := h - inBand; y < h; y++ {
+				gather(y)
+			}
+		} else {
+			for y := 0; y < h; y++ {
+				gather(y)
+			}
+		}
+		for c := 0; c < nb; c++ {
+			seg := s[c*h : (c+1)*h]
+			if p.opInverse {
+				p.colPlan.Inverse(seg)
+			} else {
+				p.colPlan.Forward(seg)
+			}
+		}
+		for y := 0; y < h; y++ {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				data[base+c] = s[c*h+y]
+			}
+		}
+	}
+	p.colColsBody = func(worker, i int) {
+		w, h := p.w, p.h
+		band, blocks, lowBlocks := p.opBand, p.opBlocks, p.opLowBlocks
+		data := p.opFields[i/blocks].Data
+		b := i % blocks
+		var x0, x1 int
+		if b < lowBlocks {
+			x0 = b * colBlock
+			x1 = x0 + colBlock
+			if x1 > band+1 {
+				x1 = band + 1
+			}
+		} else {
+			x0 = w - band + (b-lowBlocks)*colBlock
+			x1 = x0 + colBlock
+			if x1 > w {
+				x1 = w
+			}
+		}
+		nb := x1 - x0
+		s := p.col[worker]
+		for y := 0; y < h; y++ {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				s[c*h+y] = data[base+c]
+			}
+		}
+		for c := 0; c < nb; c++ {
+			seg := s[c*h : (c+1)*h]
+			if p.opInverse {
+				p.colPlan.Inverse(seg)
+			} else {
+				p.colPlan.Forward(seg)
+			}
+		}
+		for y := 0; y < h; y++ {
+			base := y*w + x0
+			for c := 0; c < nb; c++ {
+				data[base+c] = s[c*h+y]
+			}
+		}
+	}
 }
 
 // W returns the plan width.
@@ -131,42 +300,17 @@ func (p *BatchPlan2D) BatchForwardBandedCols(fields []*grid.CField, band int) {
 
 // rowPass transforms every row of every field in one engine sweep.
 func (p *BatchPlan2D) rowPass(fields []*grid.CField, inverse bool) {
-	w, h := p.w, p.h
-	p.eng.ForChunk(len(fields)*h, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			data := fields[i/h].Data
-			r := i % h
-			row := data[r*w : (r+1)*w]
-			if inverse {
-				p.rowPlan.Inverse(row)
-			} else {
-				p.rowPlan.Forward(row)
-			}
-		}
-	})
+	p.opFields, p.opInverse = fields, inverse
+	p.eng.ForChunk(len(fields)*p.h, p.rowBody)
+	p.opFields = nil
 }
 
 // rowPassBanded transforms only the wrapped band rows |v| ≤ band of
 // every field (2·band+1 rows instead of h).
 func (p *BatchPlan2D) rowPassBanded(fields []*grid.CField, band int, inverse bool) {
-	w, h := p.w, p.h
-	rows := 2*band + 1
-	p.eng.ForChunk(len(fields)*rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			data := fields[i/rows].Data
-			j := i % rows
-			r := j
-			if j > band {
-				r = h - rows + j
-			}
-			row := data[r*w : (r+1)*w]
-			if inverse {
-				p.rowPlan.Inverse(row)
-			} else {
-				p.rowPlan.Forward(row)
-			}
-		}
-	})
+	p.opFields, p.opBand, p.opInverse = fields, band, inverse
+	p.eng.ForChunk(len(fields)*(2*band+1), p.rowBandedBody)
+	p.opFields = nil
 }
 
 // colBlock is the number of columns gathered per work item. Gathering a
@@ -179,57 +323,10 @@ const colBlock = 4
 // only the wrapped rows |v| ≤ inBand hold live data: other rows are
 // gathered as exact zeros instead of being read.
 func (p *BatchPlan2D) colPass(fields []*grid.CField, inverse bool, inBand int) {
-	w, h := p.w, p.h
-	banded := inBand >= 0 && 2*inBand+1 < h
-	blocks := (w + colBlock - 1) / colBlock
-	p.eng.Map(len(fields)*blocks, func(worker, i int) {
-		data := fields[i/blocks].Data
-		x0 := (i % blocks) * colBlock
-		x1 := x0 + colBlock
-		if x1 > w {
-			x1 = w
-		}
-		nb := x1 - x0
-		s := p.col[worker]
-		gather := func(y int) {
-			base := y*w + x0
-			for c := 0; c < nb; c++ {
-				s[c*h+y] = data[base+c]
-			}
-		}
-		if banded {
-			for y := 0; y <= inBand; y++ {
-				gather(y)
-			}
-			for c := 0; c < nb; c++ {
-				seg := s[c*h : (c+1)*h]
-				for y := inBand + 1; y < h-inBand; y++ {
-					seg[y] = 0
-				}
-			}
-			for y := h - inBand; y < h; y++ {
-				gather(y)
-			}
-		} else {
-			for y := 0; y < h; y++ {
-				gather(y)
-			}
-		}
-		for c := 0; c < nb; c++ {
-			seg := s[c*h : (c+1)*h]
-			if inverse {
-				p.colPlan.Inverse(seg)
-			} else {
-				p.colPlan.Forward(seg)
-			}
-		}
-		for y := 0; y < h; y++ {
-			base := y*w + x0
-			for c := 0; c < nb; c++ {
-				data[base+c] = s[c*h+y]
-			}
-		}
-	})
+	blocks := (p.w + colBlock - 1) / colBlock
+	p.opFields, p.opInverse, p.opBand, p.opBlocks = fields, inverse, inBand, blocks
+	p.eng.Map(len(fields)*blocks, p.colBody)
+	p.opFields = nil
 }
 
 // colPassCols transforms only the wrapped band columns |u| ≤ band of
@@ -237,49 +334,12 @@ func (p *BatchPlan2D) colPass(fields []*grid.CField, inverse bool, inBand int) {
 // contiguous column runs ([0, band] and [w-band, w)), each processed in
 // cache-friendly blocks.
 func (p *BatchPlan2D) colPassCols(fields []*grid.CField, band int, inverse bool) {
-	w, h := p.w, p.h
 	// Blocks of the low run [0, band] then the high run [w-band, w).
 	lowBlocks := (band + 1 + colBlock - 1) / colBlock
 	highBlocks := (band + colBlock - 1) / colBlock
 	blocks := lowBlocks + highBlocks
-	p.eng.Map(len(fields)*blocks, func(worker, i int) {
-		data := fields[i/blocks].Data
-		b := i % blocks
-		var x0, x1 int
-		if b < lowBlocks {
-			x0 = b * colBlock
-			x1 = x0 + colBlock
-			if x1 > band+1 {
-				x1 = band + 1
-			}
-		} else {
-			x0 = w - band + (b-lowBlocks)*colBlock
-			x1 = x0 + colBlock
-			if x1 > w {
-				x1 = w
-			}
-		}
-		nb := x1 - x0
-		s := p.col[worker]
-		for y := 0; y < h; y++ {
-			base := y*w + x0
-			for c := 0; c < nb; c++ {
-				s[c*h+y] = data[base+c]
-			}
-		}
-		for c := 0; c < nb; c++ {
-			seg := s[c*h : (c+1)*h]
-			if inverse {
-				p.colPlan.Inverse(seg)
-			} else {
-				p.colPlan.Forward(seg)
-			}
-		}
-		for y := 0; y < h; y++ {
-			base := y*w + x0
-			for c := 0; c < nb; c++ {
-				data[base+c] = s[c*h+y]
-			}
-		}
-	})
+	p.opFields, p.opInverse, p.opBand = fields, inverse, band
+	p.opBlocks, p.opLowBlocks = blocks, lowBlocks
+	p.eng.Map(len(fields)*blocks, p.colColsBody)
+	p.opFields = nil
 }

@@ -11,6 +11,7 @@ package fft
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lsopc/internal/grid"
 )
@@ -109,21 +110,30 @@ func (p *Plan) transform(x []complex128, tw []complex128) {
 	}
 }
 
-// planCacheKey keys the shared plan cache by length.
-// Plans are tiny relative to field data, so the cache never evicts.
+// planCache is the shared plan cache, keyed by length. Plans are tiny
+// relative to field data, so the cache never evicts.
 var planCache = struct {
+	sync.RWMutex
 	m map[int]*Plan
 }{m: make(map[int]*Plan)}
 
 // CachedPlan returns a shared plan for length n, creating it on first
-// use. Not safe for concurrent first-time creation of the same length;
-// the pipeline creates all plans during simulator construction, so the
-// hot path only reads.
+// use. Safe for concurrent use: sessions and pipelines are constructed
+// from many goroutines, so first-time creation takes a write lock while
+// the steady state pays only a read lock.
 func CachedPlan(n int) *Plan {
+	planCache.RLock()
+	p := planCache.m[n]
+	planCache.RUnlock()
+	if p != nil {
+		return p
+	}
+	planCache.Lock()
+	defer planCache.Unlock()
 	if p, ok := planCache.m[n]; ok {
 		return p
 	}
-	p := NewPlan(n)
+	p = NewPlan(n)
 	planCache.m[n] = p
 	return p
 }

@@ -22,25 +22,72 @@ type Plan2D struct {
 	colPlan *Plan // length h
 	eng     *engine.Engine
 	scratch []complex128 // h*w transpose buffer
+	packed  []complex128 // w-long row-pair buffer for ForwardReal
+
+	// Row-pass operands staged per call for the pre-bound engine body.
+	// Binding the closure once at construction keeps the per-transform
+	// hot path free of closure allocations (engine bodies escape).
+	rpData    []complex128
+	rpN       int
+	rpPlan    *Plan
+	rpInverse bool
+	rowBody   func(lo, hi int)
 }
 
 // NewPlan2D creates a 2-D plan for w×h fields executed on eng.
 // Both dimensions must be powers of two.
 func NewPlan2D(w, h int, eng *engine.Engine) *Plan2D {
+	return NewPlan2DFromPlans(CachedPlan(w), CachedPlan(h), eng, nil)
+}
+
+// Plan2DScratchLen returns the scratch element count a w×h Plan2D needs
+// (the transpose buffer plus the real-input row-pair buffer). Callers
+// leasing scratch from a pool hand NewPlan2DFromPlans a slice of at
+// least this length.
+func Plan2DScratchLen(w, h int) int { return w*h + w }
+
+// NewPlan2DFromPlans builds a 2-D plan around existing (immutable,
+// shared) 1-D plans — the session constructor: a resource bank owns the
+// row/column plans once per grid size, and every session wraps them with
+// its own scratch. scratch must be nil (allocate internally) or at least
+// Plan2DScratchLen(w, h) elements of caller-owned memory, e.g. leased
+// from an rt.Pool.
+func NewPlan2DFromPlans(row, col *Plan, eng *engine.Engine, scratch []complex128) *Plan2D {
+	w, h := row.N(), col.N()
 	if !grid.IsPow2(w) || !grid.IsPow2(h) {
 		panic(fmt.Sprintf("fft: grid %dx%d is not power-of-two", w, h))
 	}
 	if eng == nil {
 		eng = engine.CPU()
 	}
-	return &Plan2D{
+	if scratch == nil {
+		scratch = make([]complex128, Plan2DScratchLen(w, h))
+	}
+	if len(scratch) < Plan2DScratchLen(w, h) {
+		panic(fmt.Sprintf("fft: plan scratch %d below required %d", len(scratch), Plan2DScratchLen(w, h)))
+	}
+	p := &Plan2D{
 		w:       w,
 		h:       h,
-		rowPlan: CachedPlan(w),
-		colPlan: CachedPlan(h),
+		rowPlan: row,
+		colPlan: col,
 		eng:     eng,
-		scratch: make([]complex128, w*h),
+		scratch: scratch[:w*h],
+		packed:  scratch[w*h : w*h+w],
 	}
+	p.rowBody = func(lo, hi int) {
+		data, n, plan := p.rpData, p.rpN, p.rpPlan
+		if p.rpInverse {
+			for r := lo; r < hi; r++ {
+				plan.Inverse(data[r*n : (r+1)*n])
+			}
+		} else {
+			for r := lo; r < hi; r++ {
+				plan.Forward(data[r*n : (r+1)*n])
+			}
+		}
+	}
+	return p
 }
 
 // W returns the plan width.
@@ -78,18 +125,11 @@ func (p *Plan2D) transform(c *grid.CField, inverse bool) {
 }
 
 // rowPass transforms rows of a rows×n matrix stored row-major in data,
-// fanning rows across the engine's workers.
+// fanning rows across the engine's workers through the pre-bound body.
 func (p *Plan2D) rowPass(data []complex128, rows, n int, plan *Plan, inverse bool) {
-	p.eng.ForChunk(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			row := data[r*n : (r+1)*n]
-			if inverse {
-				plan.Inverse(row)
-			} else {
-				plan.Forward(row)
-			}
-		}
-	})
+	p.rpData, p.rpN, p.rpPlan, p.rpInverse = data, n, plan, inverse
+	p.eng.ForChunk(rows, p.rowBody)
+	p.rpData, p.rpPlan = nil, nil
 }
 
 // transpose writes the w×h row-major matrix src into dst as an h-wide,

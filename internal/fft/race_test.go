@@ -1,0 +1,90 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+)
+
+// TestCachedPlanConcurrent hammers the shared plan cache from many
+// goroutines over overlapping sizes, including first-time creation, and
+// checks every caller sees one canonical plan per size. Run under
+// `go test -race` (make race) this doubles as the regression test for
+// the cache's locking.
+func TestCachedPlanConcurrent(t *testing.T) {
+	// Larger power-of-two sizes that the small-grid tests in this
+	// process are unlikely to have cached, so first-time creation races
+	// are actually exercised.
+	sizes := []int{512, 1024, 2048, 4096}
+	const workers = 16
+	got := make([][]*Plan, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			plans := make([]*Plan, 0, len(sizes)*8)
+			for rep := 0; rep < 8; rep++ {
+				for _, n := range sizes {
+					plans = append(plans, CachedPlan(n))
+				}
+			}
+			got[w] = plans
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i, p := range got[w] {
+			if p != got[0][i] {
+				t.Fatalf("worker %d saw a different plan for call %d", w, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentPlan2DConstructionAndUse builds independent 2-D
+// pipelines on the shared cached 1-D plans from many goroutines and
+// round-trips data through each, verifying the shared plans are
+// read-only during transforms.
+func TestConcurrentPlan2DConstructionAndUse(t *testing.T) {
+	const n = 32
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := NewPlan2DFromPlans(CachedPlan(n), CachedPlan(n), engine.CPU(), nil)
+			f := grid.NewCField(n, n)
+			for i := range f.Data {
+				f.Data[i] = complex(float64((i*7+w)%13), float64(i%5))
+			}
+			want := append([]complex128(nil), f.Data...)
+			p.Forward(f)
+			p.Inverse(f)
+			for i := range f.Data {
+				if cmplx.Abs(f.Data[i]-want[i]) > 1e-9*math.Max(1, cmplx.Abs(want[i])) {
+					errs[w] = &roundTripError{worker: w, index: i}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type roundTripError struct{ worker, index int }
+
+func (e *roundTripError) Error() string {
+	return "fft: concurrent round trip diverged"
+}

@@ -21,8 +21,9 @@ func (p *Plan2D) ForwardReal(dst *grid.CField, src *grid.Field) {
 	}
 	p.check(dst)
 
-	// Row pass on packed pairs.
-	packed := make([]complex128, p.w)
+	// Row pass on packed pairs, through the plan-owned buffer so the
+	// per-iteration mask transform stays allocation-free.
+	packed := p.packed
 	for y := 0; y < p.h; y += 2 {
 		r0 := src.Row(y)
 		r1 := src.Row(y + 1)

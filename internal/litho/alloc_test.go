@@ -1,0 +1,91 @@
+package litho
+
+import (
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/grid"
+)
+
+// Allocation regression gate for the session runtime: once a session is
+// warm, the forward simulation and the fused forward+adjoint must not
+// touch the heap. All scratch is leased at session construction and
+// every engine body is pre-bound, so the steady state is pure compute.
+// The guarantee holds on a serial engine; multi-worker engines pay
+// goroutine bookkeeping, which is scheduling overhead, not simulator
+// state.
+
+// warmSim returns a simulator that has run each measured path once, so
+// lazily-leased scratch (the retained kernel batch) is in place.
+func warmSim(t testing.TB, kernels int) (*Simulator, *grid.CField, *CornerImages, *grid.Field) {
+	cfg := DefaultConfig(64, 32)
+	cfg.Optics.Kernels = kernels
+	s, err := NewSimulator(cfg, engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.GridSize()
+	mask := centeredRectMask(n, 24, 12)
+	spec := s.MaskSpectrum(mask)
+	imgs := NewCornerImages(n)
+	grad := grid.NewField(n, n)
+	target := centeredRectMask(n, 24, 12)
+	for _, cond := range []Condition{Nominal, Outer, Inner} {
+		s.Forward(imgs, spec, cond)
+		s.ForwardAndGradient(grad, spec, cond, target, imgs, 1)
+	}
+	s.PrintedBinary(imgs.Aerial, spec, Nominal)
+	return s, spec, imgs, target
+}
+
+func TestSimulateZeroAllocWarm(t *testing.T) {
+	s, spec, imgs, _ := warmSim(t, 4)
+	if avg := testing.AllocsPerRun(20, func() {
+		s.Forward(imgs, spec, Nominal)
+		s.Forward(imgs, spec, Outer)
+		s.Forward(imgs, spec, Inner)
+	}); avg != 0 {
+		t.Fatalf("warm Forward allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestForwardAndGradientZeroAllocWarm(t *testing.T) {
+	s, spec, imgs, target := warmSim(t, 4)
+	n := s.GridSize()
+	grad := grid.NewField(n, n)
+	if avg := testing.AllocsPerRun(20, func() {
+		grad.Zero()
+		s.ForwardAndGradient(grad, spec, Nominal, target, imgs, 1)
+	}); avg != 0 {
+		t.Fatalf("warm ForwardAndGradient allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestMaskSpectrumIntoZeroAllocWarm(t *testing.T) {
+	s, spec, _, target := warmSim(t, 4)
+	if avg := testing.AllocsPerRun(20, func() {
+		s.MaskSpectrumInto(spec, target)
+	}); avg != 0 {
+		t.Fatalf("warm MaskSpectrumInto allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func BenchmarkSimulateWarm(b *testing.B) {
+	s, spec, imgs, _ := warmSim(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Forward(imgs, spec, Nominal)
+	}
+}
+
+func BenchmarkForwardAndGradientWarm(b *testing.B) {
+	s, spec, imgs, target := warmSim(b, 8)
+	grad := grid.NewField(s.GridSize(), s.GridSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grad.Zero()
+		s.ForwardAndGradient(grad, spec, Nominal, target, imgs, 1)
+	}
+}

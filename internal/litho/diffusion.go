@@ -16,6 +16,12 @@ import (
 // the gradient path simply blurs the resist sensitivity field W before
 // the per-kernel accumulation.
 
+// diffusionKey identifies one memoized diffusion spectrum in the
+// resource bank's target cache (the grid size is fixed by the bank).
+type diffusionKey struct {
+	pixelNM, sigmaNM float64
+}
+
 // diffusionSpectrum returns the FFT-layout spectrum of the normalised
 // Gaussian blur kernel for the given diffusion length, or nil when
 // disabled. The spectrum of a Gaussian with standard deviation σ (nm)

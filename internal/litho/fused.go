@@ -19,11 +19,12 @@ func (s *Simulator) canRetain() bool {
 	return k*n*n*16 <= retainLimitBytes
 }
 
-// retained returns the per-kernel field batch, allocating on first use.
+// retained returns the per-kernel field batch, leasing fields from the
+// session's pool on first use (Release returns them).
 func (s *Simulator) retained(k int) []*grid.CField {
 	n := s.GridSize()
 	for len(s.fields) < k {
-		s.fields = append(s.fields, grid.NewCField(n, n))
+		s.fields = append(s.fields, s.pool.CField(n, n))
 	}
 	return s.fields[:k]
 }

@@ -16,6 +16,7 @@ import (
 	"lsopc/internal/fft"
 	"lsopc/internal/grid"
 	"lsopc/internal/optics"
+	"lsopc/internal/rt"
 )
 
 // Condition identifies one process corner.
@@ -94,20 +95,27 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Simulator evaluates the forward imaging model and its adjoint. It owns
-// per-instance scratch storage and is NOT safe for concurrent use;
-// create one per goroutine (kernel banks may be shared via NewWithBanks
-// or Sibling).
+// Simulator evaluates the forward imaging model and its adjoint. A
+// Simulator is a *session* over an immutable rt.Bank: the kernel banks,
+// 1-D FFT plans and derived read-only fields are shared with every other
+// session on the same bank, while the mutable scratch (coherent-field
+// batches, accumulators, plan workspaces) is leased from the bank's pool
+// and returned by Release. One session owns its scratch exclusively and
+// is NOT safe for concurrent use; create one per goroutine via
+// NewSession or Sibling.
 type Simulator struct {
-	cfg   Config
-	eng   *engine.Engine
+	cfg  Config
+	eng  *engine.Engine
+	res  *rt.Bank // shared immutable resources
+	pool *rt.Pool // == res.Pool(); where all scratch below is leased from
+
 	plan  *fft.Plan2D
 	batch *fft.BatchPlan2D
 
-	nominalBank *optics.Bank // focus = 0
-	defocusBank *optics.Bank // focus = DefocusNM
+	nominalBank *optics.Bank // focus = 0 (aliases res.Nominal())
+	defocusBank *optics.Bank // focus = DefocusNM (aliases res.Defocus())
 
-	// Scratch reused across calls.
+	// Leased scratch, reused across calls and returned by Release.
 	field   *grid.CField   // per-kernel coherent field E_k (non-batched fallback)
 	accum   *grid.CField   // frequency-domain gradient accumulator
 	ampSpec *grid.CField   // spectrum of W ⊙ conj(E_k) (non-batched fallback)
@@ -116,12 +124,41 @@ type Simulator struct {
 	sens    *grid.Field     // resist sensitivity W (hoisted out of the hot path)
 	aerial  *grid.Field     // aerial temp for PrintedBinary
 
-	// Resist diffusion (see diffusion.go); nil when disabled.
+	planScratch  *grid.CField // backs plan's transpose + real-pack workspace
+	batchScratch *grid.CField // backs batch's per-worker column buffers
+
+	// Resist diffusion (see diffusion.go); nil when disabled. The
+	// spectrum is shared read-only through the bank's target cache.
 	diffusion   *grid.Field
 	blurScratch *grid.CField
+
+	// Per-call operands staged for the pre-bound engine bodies below.
+	// Binding the closures once per session keeps the simulate/gradient
+	// hot paths free of closure allocations (engine bodies escape).
+	opFields []*grid.CField
+	opBank   *optics.Bank
+	opSpec   *grid.CField
+	opDst    *grid.Field
+	opW      *grid.Field
+	opR      *grid.Field
+	opTarget *grid.Field
+	opScale  float64
+	opGrad   *grid.Field
+
+	materializeBody func(lo, hi int)
+	reduceBody      func(lo, hi int)
+	sensBody        func(lo, hi int)
+	adjointBody     func(lo, hi int)
+	ampBody         func(lo, hi int)
+	applyBody       func(lo, hi int)
+
+	released bool
 }
 
-// NewSimulator builds a simulator, synthesising both kernel banks.
+// NewSimulator builds a simulator session on the process-wide shared
+// resource bank for cfg, synthesising the kernel banks on first use.
+// Repeated construction at one preset reuses the same bank and recycled
+// scratch, so a simulator per job is cheap.
 func NewSimulator(cfg Config, eng *engine.Engine) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -129,15 +166,11 @@ func NewSimulator(cfg Config, eng *engine.Engine) (*Simulator, error) {
 	if eng == nil {
 		eng = engine.CPU()
 	}
-	nom, err := optics.NewBank(cfg.Optics, 0, eng)
+	res, err := rt.BankFor(cfg.Optics, cfg.DefocusNM, eng)
 	if err != nil {
 		return nil, err
 	}
-	def, err := optics.NewBank(cfg.Optics, cfg.DefocusNM, eng)
-	if err != nil {
-		return nil, err
-	}
-	return NewWithBanks(cfg, eng, nom, def)
+	return NewSession(res, cfg, eng)
 }
 
 // NewWithBanks builds a simulator around existing kernel banks, letting
@@ -146,39 +179,173 @@ func NewWithBanks(cfg Config, eng *engine.Engine, nominal, defocus *optics.Bank)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if eng == nil {
-		eng = engine.CPU()
-	}
 	n := cfg.Optics.GridSize
 	if nominal.Cfg.GridSize != n || defocus.Cfg.GridSize != n {
 		return nil, fmt.Errorf("litho: bank grid does not match config grid %d", n)
 	}
+	res, err := rt.WrapBanks(nominal, defocus, nil)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(res, cfg, eng)
+}
+
+// NewSession builds a simulator session over an existing resource bank:
+// the immutable kernel banks and FFT plans come from res, every piece of
+// mutable scratch is leased from res.Pool(). Call Release when the
+// session's work is done to return the scratch for reuse.
+func NewSession(res *rt.Bank, cfg Config, eng *engine.Engine) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("litho: session requires a resource bank")
+	}
+	if eng == nil {
+		eng = engine.CPU()
+	}
+	n := cfg.Optics.GridSize
+	if res.GridSize() != n {
+		return nil, fmt.Errorf("litho: bank grid does not match config grid %d", n)
+	}
+	pool := res.Pool()
 	s := &Simulator{
 		cfg:         cfg,
 		eng:         eng,
-		plan:        fft.NewPlan2D(n, n, eng),
-		batch:       fft.NewBatchPlan2D(n, n, eng),
-		nominalBank: nominal,
-		defocusBank: defocus,
-		field:       grid.NewCField(n, n),
-		accum:       grid.NewCField(n, n),
-		ampSpec:     grid.NewCField(n, n),
-		sens:        grid.NewField(n, n),
-		aerial:      grid.NewField(n, n),
+		res:         res,
+		pool:        pool,
+		nominalBank: res.Nominal(),
+		defocusBank: res.Defocus(),
+		field:       pool.CField(n, n),
+		accum:       pool.CField(n, n),
+		ampSpec:     pool.CField(n, n),
+		sens:        pool.Field(n, n),
+		aerial:      pool.Field(n, n),
 	}
+	// Plan workspaces are leased as complex fields of exactly the
+	// required element count so they recycle like any other buffer.
+	s.planScratch = pool.CField(n, fft.Plan2DScratchLen(n, n)/n)
+	s.plan = fft.NewPlan2DFromPlans(res.RowPlan(), res.ColPlan(), eng, s.planScratch.Data)
+	s.batchScratch = pool.CField(n, fft.BatchScratchLen(n, eng.Workers())/n)
+	s.batch = fft.NewBatchPlan2DFromPlans(res.RowPlan(), res.ColPlan(), eng, s.batchScratch.Data)
 	if cfg.DiffusionNM > 0 {
-		s.diffusion = diffusionSpectrum(n, cfg.Optics.PixelNM, cfg.DiffusionNM)
-		s.blurScratch = grid.NewCField(n, n)
+		d, err := res.Target(diffusionKey{pixelNM: cfg.Optics.PixelNM, sigmaNM: cfg.DiffusionNM},
+			func() (*grid.Field, error) {
+				return diffusionSpectrum(n, cfg.Optics.PixelNM, cfg.DiffusionNM), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		s.diffusion = d
+		s.blurScratch = pool.CField(n, n)
 	}
+	s.bindBodies()
 	return s, nil
 }
 
-// Sibling builds a simulator that shares this simulator's immutable
-// kernel banks but owns fresh scratch, scheduled on eng — the way to fan
-// process corners across Split sub-engines without data races.
-func (s *Simulator) Sibling(eng *engine.Engine) (*Simulator, error) {
-	return NewWithBanks(s.cfg, eng, s.nominalBank, s.defocusBank)
+// bindBodies creates the engine bodies once per session; the hot-path
+// methods stage their operands in the op* fields and reuse these.
+func (s *Simulator) bindBodies() {
+	s.materializeBody = func(lo, hi int) {
+		fields, kernels, spec := s.opFields, s.opBank.Kernels, s.opSpec
+		for k := lo; k < hi; k++ {
+			kernels[k].MulIntoBand(fields[k], spec)
+		}
+	}
+	s.reduceBody = func(lo, hi int) {
+		fields, kernels := s.opFields, s.opBank.Kernels
+		d := s.opDst.Data[lo:hi]
+		for i := range d {
+			d[i] = 0
+		}
+		for ki := range fields {
+			w := kernels[ki].Weight
+			f := fields[ki].Data[lo:hi]
+			for i, v := range f {
+				re, im := real(v), imag(v)
+				d[i] += w * (re*re + im*im)
+			}
+		}
+	}
+	s.sensBody = func(lo, hi int) {
+		w, r, target, c := s.opW, s.opR, s.opTarget, s.opScale
+		for i := lo; i < hi; i++ {
+			rv := r.Data[i]
+			w.Data[i] = c * (rv - target.Data[i]) * rv * (1 - rv)
+		}
+	}
+	s.adjointBody = func(lo, hi int) {
+		fields, w := s.opFields, s.opW
+		nn := len(w.Data)
+		for i := lo; i < hi; {
+			ki, j := i/nn, i%nn
+			end := (ki + 1) * nn
+			if end > hi {
+				end = hi
+			}
+			data := fields[ki].Data
+			for ; i < end; i, j = i+1, j+1 {
+				e := data[j]
+				data[j] = complex(w.Data[j], 0) * complex(real(e), -imag(e))
+			}
+		}
+	}
+	s.ampBody = func(lo, hi int) {
+		w := s.opW
+		for i := lo; i < hi; i++ {
+			e := s.field.Data[i]
+			s.ampSpec.Data[i] = complex(w.Data[i], 0) * complex(real(e), -imag(e))
+		}
+	}
+	s.applyBody = func(lo, hi int) {
+		grad, weight := s.opGrad, s.opScale
+		for i := lo; i < hi; i++ {
+			grad.Data[i] += weight * 2 * real(s.accum.Data[i])
+		}
+	}
 }
+
+// Sibling builds a simulator session sharing this simulator's resource
+// bank but owning fresh leased scratch, scheduled on eng — the way to
+// fan process corners across Split sub-engines without data races.
+func (s *Simulator) Sibling(eng *engine.Engine) (*Simulator, error) {
+	return NewSession(s.res, s.cfg, eng)
+}
+
+// Release returns every leased scratch buffer to the bank's pool. The
+// simulator must not be used afterwards. Release is idempotent and
+// nil-safe; shared bank resources are untouched.
+func (s *Simulator) Release() {
+	if s == nil || s.released {
+		return
+	}
+	s.released = true
+	p := s.pool
+	p.PutCField(s.field)
+	p.PutCField(s.accum)
+	p.PutCField(s.ampSpec)
+	for _, f := range s.fields {
+		p.PutCField(f)
+	}
+	p.PutField(s.sens)
+	p.PutField(s.aerial)
+	p.PutCField(s.planScratch)
+	p.PutCField(s.batchScratch)
+	p.PutCField(s.blurScratch)
+	s.field, s.accum, s.ampSpec, s.blurScratch = nil, nil, nil, nil
+	s.fields = nil
+	s.single[0] = nil
+	s.sens, s.aerial, s.diffusion = nil, nil, nil
+	s.planScratch, s.batchScratch = nil, nil
+	s.plan, s.batch = nil, nil
+	s.opBank = nil
+}
+
+// Resources returns the immutable resource bank backing this session.
+func (s *Simulator) Resources() *rt.Bank { return s.res }
+
+// Pool returns the pool this session leases scratch from.
+func (s *Simulator) Pool() *rt.Pool { return s.pool }
 
 // Config returns the simulator configuration.
 func (s *Simulator) Config() Config { return s.cfg }
@@ -236,9 +403,9 @@ func (s *Simulator) inverseBanded(c *grid.CField, band int) {
 // field is written by exactly one worker, so the result is independent
 // of scheduling.
 func (s *Simulator) materialize(fields []*grid.CField, bank *optics.Bank, maskSpec *grid.CField) {
-	s.eng.For(len(bank.Kernels), func(k int) {
-		bank.Kernels[k].MulIntoBand(fields[k], maskSpec)
-	})
+	s.opFields, s.opBank, s.opSpec = fields, bank, maskSpec
+	s.eng.ForChunk(len(bank.Kernels), s.materializeBody)
+	s.opFields, s.opSpec = nil, nil
 }
 
 // reduceAbsSq reduces the SOCS sum dst = Σ_k μ_k |E_k|² over the batch
@@ -247,20 +414,9 @@ func (s *Simulator) materialize(fields []*grid.CField, bank *optics.Bank, maskSp
 // is bit-identical for any worker count (and to the serial per-kernel
 // AccumAbsSq loop).
 func (s *Simulator) reduceAbsSq(dst *grid.Field, fields []*grid.CField, bank *optics.Bank) {
-	s.eng.ForChunk(len(dst.Data), func(lo, hi int) {
-		d := dst.Data[lo:hi]
-		for i := range d {
-			d[i] = 0
-		}
-		for ki := range fields {
-			w := bank.Kernels[ki].Weight
-			f := fields[ki].Data[lo:hi]
-			for i, v := range f {
-				re, im := real(v), imag(v)
-				d[i] += w * (re*re + im*im)
-			}
-		}
-	})
+	s.opDst, s.opFields, s.opBank = dst, fields, bank
+	s.eng.ForChunk(len(dst.Data), s.reduceBody)
+	s.opDst, s.opFields = nil, nil
 }
 
 // aerialInto computes the undosed SOCS intensity Σ_k μ_k |h_k ⊗ M|²
@@ -345,6 +501,23 @@ func NewCornerImages(n int) *CornerImages {
 	return &CornerImages{Aerial: grid.NewField(n, n), R: grid.NewField(n, n)}
 }
 
+// LeaseCornerImages leases result storage for an n×n grid from a pool;
+// return it with ReleaseTo.
+func LeaseCornerImages(p *rt.Pool, n int) *CornerImages {
+	return &CornerImages{Aerial: p.Field(n, n), R: p.Field(n, n)}
+}
+
+// ReleaseTo returns the images' storage to the pool they were leased
+// from. The CornerImages must not be used afterwards. nil-safe.
+func (c *CornerImages) ReleaseTo(p *rt.Pool) {
+	if c == nil {
+		return
+	}
+	p.PutField(c.Aerial)
+	p.PutField(c.R)
+	c.Aerial, c.R = nil, nil
+}
+
 // Forward fills out with the exact aerial image and sigmoid resist image
 // at the given corner.
 func (s *Simulator) Forward(out *CornerImages, maskSpec *grid.CField, cond Condition) {
@@ -381,13 +554,9 @@ func (s *Simulator) GradientInto(grad *grid.Field, maskSpec *grid.CField, cond C
 // the blur's adjoint (itself) maps the sensitivity back through the
 // latent-image convolution.
 func (s *Simulator) sensitivity(w *grid.Field, r, target *grid.Field, dose float64) {
-	c := 2 * s.cfg.Steepness * dose
-	s.eng.ForChunk(len(w.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rv := r.Data[i]
-			w.Data[i] = c * (rv - target.Data[i]) * rv * (1 - rv)
-		}
-	})
+	s.opW, s.opR, s.opTarget, s.opScale = w, r, target, 2*s.cfg.Steepness*dose
+	s.eng.ForChunk(len(w.Data), s.sensBody)
+	s.opW, s.opR, s.opTarget = nil, nil, nil
 	s.blurInPlace(w)
 }
 
@@ -416,21 +585,9 @@ func (s *Simulator) zeroAccumBand(band int) {
 // amplitude spectra, and the per-kernel flip-multiplies accumulate into
 // s.accum, which is inverse-transformed back to the spatial domain.
 func (s *Simulator) adjointFromFields(fields []*grid.CField, bank *optics.Bank, w *grid.Field) {
-	nn := len(w.Data)
-	s.eng.ForChunk(len(fields)*nn, func(lo, hi int) {
-		for i := lo; i < hi; {
-			ki, j := i/nn, i%nn
-			end := (ki + 1) * nn
-			if end > hi {
-				end = hi
-			}
-			data := fields[ki].Data
-			for ; i < end; i, j = i+1, j+1 {
-				e := data[j]
-				data[j] = complex(w.Data[j], 0) * complex(real(e), -imag(e))
-			}
-		}
-	})
+	s.opFields, s.opW = fields, w
+	s.eng.ForChunk(len(fields)*len(w.Data), s.adjointBody)
+	s.opFields, s.opW = nil, nil
 	s.batch.BatchForwardBandedCols(fields, bank.Radius())
 	s.zeroAccumBand(bank.Radius())
 	for ki, k := range bank.Kernels {
@@ -448,12 +605,9 @@ func (s *Simulator) adjointStreaming(bank *optics.Bank, maskSpec *grid.CField, w
 		k.MulIntoBand(s.field, maskSpec)
 		s.inverseBanded(s.field, k.R)
 		// amp = W ⊙ conj(E_k)
-		s.eng.ForChunk(len(s.ampSpec.Data), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := s.field.Data[i]
-				s.ampSpec.Data[i] = complex(w.Data[i], 0) * complex(real(e), -imag(e))
-			}
-		})
+		s.opW = w
+		s.eng.ForChunk(len(s.ampSpec.Data), s.ampBody)
+		s.opW = nil
 		s.single[0] = s.ampSpec
 		s.batch.BatchForwardBandedCols(s.single[:], k.R)
 		// accum += μ_k · amp_spec ∘ spec(flip(h_k))
@@ -464,11 +618,9 @@ func (s *Simulator) adjointStreaming(bank *optics.Bank, maskSpec *grid.CField, w
 
 // applyGradient adds weight·2·Re{accum} into grad.
 func (s *Simulator) applyGradient(grad *grid.Field, weight float64) {
-	s.eng.ForChunk(len(grad.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			grad.Data[i] += weight * 2 * real(s.accum.Data[i])
-		}
-	})
+	s.opGrad, s.opScale = grad, weight
+	s.eng.ForChunk(len(grad.Data), s.applyBody)
+	s.opGrad = nil
 }
 
 // CostAt returns ‖R − target‖² for the sigmoid resist image r.

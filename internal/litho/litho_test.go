@@ -329,3 +329,51 @@ func TestMaskSpectrumInto(t *testing.T) {
 		t.Fatal("MaskSpectrumInto differs from MaskSpectrum")
 	}
 }
+
+func TestSiblingSharesBanksNotScratch(t *testing.T) {
+	s := testSim(t, 3)
+	s2, err := s.Sibling(engine.CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Release()
+
+	// Immutable resources are aliased: one bank backs both sessions.
+	if s2.res != s.res {
+		t.Fatal("sibling must share the resource bank")
+	}
+	if s2.nominalBank != s.nominalBank || s2.defocusBank != s.defocusBank {
+		t.Fatal("sibling must alias the kernel banks")
+	}
+	if s2.pool != s.pool {
+		t.Fatal("sibling must lease from the same pool")
+	}
+
+	// Mutable scratch is private: no buffer may be shared, or concurrent
+	// sessions would corrupt each other.
+	if s2.field == s.field || s2.accum == s.accum || s2.ampSpec == s.ampSpec {
+		t.Fatal("sibling aliases complex scratch")
+	}
+	if s2.sens == s.sens || s2.aerial == s.aerial {
+		t.Fatal("sibling aliases real scratch")
+	}
+	if s2.planScratch == s.planScratch || s2.batchScratch == s.batchScratch {
+		t.Fatal("sibling aliases plan workspaces")
+	}
+	if s2.plan == s.plan || s2.batch == s.batch {
+		t.Fatal("sibling aliases 2-D plans (they wrap private scratch)")
+	}
+
+	// Both sessions must produce identical images for one mask.
+	n := s.GridSize()
+	mask := centeredRectMask(n, 24, 12)
+	a1 := grid.NewField(n, n)
+	a2 := grid.NewField(n, n)
+	s.Aerial(a1, s.MaskSpectrum(mask), Nominal)
+	s2.Aerial(a2, s2.MaskSpectrum(mask), Nominal)
+	for i := range a1.Data {
+		if a1.Data[i] != a2.Data[i] {
+			t.Fatalf("sibling aerial diverges at %d", i)
+		}
+	}
+}

@@ -185,16 +185,26 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 		return nil, fmt.Errorf("pixelilt: target %dx%d does not match grid %d", target.W, target.H, n)
 	}
 
+	// Scratch is leased from the simulator's pool and returned on exit;
+	// only the result masks are freshly allocated.
+	pool := sim.Pool()
+	theta := pool.Field(n, n)
+	mask := pool.Field(n, n)
+	maskSpec := pool.CField(n, n)
+	gradM := pool.Field(n, n)
+	imgs := litho.LeaseCornerImages(pool, n)
+	defer func() {
+		pool.PutField(theta)
+		pool.PutField(mask)
+		pool.PutCField(maskSpec)
+		pool.PutField(gradM)
+		imgs.ReleaseTo(pool)
+	}()
+
 	// θ initialised from the design: +1 inside (M≈σ(a)), −1 outside.
-	theta := grid.NewField(n, n)
 	for i, v := range target.Data {
 		theta.Data[i] = 2*v - 1
 	}
-
-	mask := grid.NewField(n, n)
-	maskSpec := grid.NewCField(n, n)
-	gradM := grid.NewField(n, n)
-	imgs := litho.NewCornerImages(n)
 	a := opts.MaskSteepness
 
 	res := &Result{}

@@ -19,6 +19,7 @@ import (
 	"lsopc/internal/grid"
 	"lsopc/internal/litho"
 	"lsopc/internal/optics"
+	"lsopc/internal/rt"
 )
 
 // Config parameterises the sweep matrix.
@@ -83,19 +84,25 @@ type Result struct {
 	TargetCD float64 // CD at nominal conditions
 }
 
-// Analyzer owns the per-focus kernel banks and scratch. Not safe for
-// concurrent use.
+// Analyzer holds the per-focus kernel banks (shared through the
+// process-wide memoized bank cache) and leased scratch. Not safe for
+// concurrent use; create one per goroutine and Release when done.
 type Analyzer struct {
-	cfg    Config
-	eng    *engine.Engine
-	plan   *fft.Plan2D
-	banks  []*optics.Bank // one per focus step
-	focus  []float64
-	field  *grid.CField
-	aerial *grid.Field
+	cfg         Config
+	eng         *engine.Engine
+	pool        *rt.Pool
+	plan        *fft.Plan2D
+	planScratch *grid.CField
+	banks       []*optics.Bank // one per focus step
+	focus       []float64
+	field       *grid.CField
+	aerial      *grid.Field
+	released    bool
 }
 
-// New builds an analyzer, synthesising one kernel bank per focus step.
+// New builds an analyzer. Kernel banks come from the process-wide
+// memoized cache (one synthesis per focus value across all analyzers);
+// scratch is leased from the shared pool.
 func New(cfg Config, eng *engine.Engine) (*Analyzer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -104,26 +111,43 @@ func New(cfg Config, eng *engine.Engine) (*Analyzer, error) {
 		eng = engine.CPU()
 	}
 	n := cfg.Litho.Optics.GridSize
+	pool := rt.Shared
 	a := &Analyzer{
 		cfg:    cfg,
 		eng:    eng,
-		plan:   fft.NewPlan2D(n, n, eng),
-		field:  grid.NewCField(n, n),
-		aerial: grid.NewField(n, n),
+		pool:   pool,
+		field:  pool.CField(n, n),
+		aerial: pool.Field(n, n),
 	}
+	a.planScratch = pool.CField(n, fft.Plan2DScratchLen(n, n)/n)
+	a.plan = fft.NewPlan2DFromPlans(fft.CachedPlan(n), fft.CachedPlan(n), eng, a.planScratch.Data)
 	for i := 0; i < cfg.FocusSteps; i++ {
 		var f float64
 		if cfg.FocusSteps > 1 {
 			f = cfg.FocusMaxNM * float64(i) / float64(cfg.FocusSteps-1)
 		}
-		bank, err := optics.NewBank(cfg.Litho.Optics, f, eng)
+		bank, err := rt.OpticsBankFor(cfg.Litho.Optics, f, eng)
 		if err != nil {
+			a.Release()
 			return nil, err
 		}
 		a.banks = append(a.banks, bank)
 		a.focus = append(a.focus, f)
 	}
 	return a, nil
+}
+
+// Release returns the analyzer's leased scratch to the pool. The shared
+// kernel banks are untouched. Idempotent and nil-safe.
+func (a *Analyzer) Release() {
+	if a == nil || a.released {
+		return
+	}
+	a.released = true
+	a.pool.PutCField(a.field)
+	a.pool.PutField(a.aerial)
+	a.pool.PutCField(a.planScratch)
+	a.field, a.aerial, a.planScratch, a.plan = nil, nil, nil, nil
 }
 
 // FocusValues returns the swept defocus values in nm.
@@ -195,7 +219,8 @@ func (a *Analyzer) Sweep(mask *grid.Field, cut CutLine) (*Result, error) {
 	if mask.W != n || mask.H != n {
 		return nil, fmt.Errorf("procwin: mask %dx%d does not match grid %d", mask.W, mask.H, n)
 	}
-	spec := grid.NewCField(n, n)
+	spec := a.pool.CField(n, n)
+	defer a.pool.PutCField(spec)
 	spec.SetReal(mask)
 	a.plan.Forward(spec)
 

@@ -1,0 +1,187 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/fft"
+	"lsopc/internal/grid"
+	"lsopc/internal/optics"
+)
+
+// Bank is the immutable resource bank of one optical preset: the
+// nominal and defocused SOCS kernel banks, the shared 1-D FFT plans for
+// the preset's grid, a rasterised-target cache, and the pool sessions
+// lease their scratch from. Everything reachable from a Bank is
+// immutable after construction (the pool and target cache are
+// internally synchronised), so one Bank safely backs any number of
+// concurrent sessions.
+type Bank struct {
+	cfg       optics.Config
+	defocusNM float64
+	nominal   *optics.Bank
+	defocus   *optics.Bank
+	row, col  *fft.Plan
+	pool      *Pool
+	targets   sync.Map // any -> *targetEntry
+}
+
+// targetEntry memoizes one rasterised target, including a failed build.
+type targetEntry struct {
+	once  sync.Once
+	field *grid.Field
+	err   error
+}
+
+// NewBank derives the full resource bank for the given optics
+// configuration and defocus excursion. Kernel-bank synthesis is
+// parallelised on eng (nil = serial); the result is independent of the
+// engine. pool nil defaults to Shared.
+func NewBank(cfg optics.Config, defocusNM float64, eng *engine.Engine, pool *Pool) (*Bank, error) {
+	nom, err := OpticsBankFor(cfg, 0, eng)
+	if err != nil {
+		return nil, err
+	}
+	def, err := OpticsBankFor(cfg, defocusNM, eng)
+	if err != nil {
+		return nil, err
+	}
+	return WrapBanks(nom, def, pool)
+}
+
+// WrapBanks builds a resource bank around existing kernel banks (the
+// compatibility path for callers that synthesised their own). Both
+// banks must share one grid size.
+func WrapBanks(nominal, defocus *optics.Bank, pool *Pool) (*Bank, error) {
+	if nominal == nil || defocus == nil {
+		return nil, fmt.Errorf("rt: bank requires nominal and defocus kernel banks")
+	}
+	n := nominal.Cfg.GridSize
+	if defocus.Cfg.GridSize != n {
+		return nil, fmt.Errorf("rt: bank grids differ: %d vs %d", n, defocus.Cfg.GridSize)
+	}
+	if pool == nil {
+		pool = Shared
+	}
+	return &Bank{
+		cfg:       nominal.Cfg,
+		defocusNM: defocus.DefocusNM,
+		nominal:   nominal,
+		defocus:   defocus,
+		row:       fft.CachedPlan(n),
+		col:       fft.CachedPlan(n),
+		pool:      pool,
+	}, nil
+}
+
+// Optics returns the optics configuration the bank was derived for.
+func (b *Bank) Optics() optics.Config { return b.cfg }
+
+// DefocusNM returns the defocus excursion of the inner-corner bank.
+func (b *Bank) DefocusNM() float64 { return b.defocusNM }
+
+// GridSize returns the preset's grid edge in pixels.
+func (b *Bank) GridSize() int { return b.cfg.GridSize }
+
+// Nominal returns the best-focus kernel bank.
+func (b *Bank) Nominal() *optics.Bank { return b.nominal }
+
+// Defocus returns the defocused kernel bank.
+func (b *Bank) Defocus() *optics.Bank { return b.defocus }
+
+// RowPlan returns the shared 1-D FFT plan for the grid's rows.
+func (b *Bank) RowPlan() *fft.Plan { return b.row }
+
+// ColPlan returns the shared 1-D FFT plan for the grid's columns.
+func (b *Bank) ColPlan() *fft.Plan { return b.col }
+
+// Pool returns the field pool sessions on this bank lease from.
+func (b *Bank) Pool() *Pool { return b.pool }
+
+// Radius returns the spectral band half-width covering both kernel
+// banks — the band the session's pruned FFT passes restrict to.
+func (b *Bank) Radius() int {
+	r := b.nominal.Radius()
+	if dr := b.defocus.Radius(); dr > r {
+		r = dr
+	}
+	return r
+}
+
+// Target memoizes a derived read-only field (typically a rasterised
+// layout) under the given key. The first caller's build result — value
+// or error — is cached; every later call returns it without invoking
+// build again, with concurrent first calls collapsed to one build. The
+// returned field is shared and must not be modified.
+func (b *Bank) Target(key any, build func() (*grid.Field, error)) (*grid.Field, error) {
+	v, ok := b.targets.Load(key)
+	if !ok {
+		v, _ = b.targets.LoadOrStore(key, &targetEntry{})
+	}
+	e := v.(*targetEntry)
+	e.once.Do(func() { e.field, e.err = build() })
+	return e.field, e.err
+}
+
+// opticsKey identifies one memoized kernel bank. optics.Config is a
+// struct of scalars, so the key is comparable.
+type opticsKey struct {
+	cfg       optics.Config
+	defocusNM float64
+}
+
+// opticsEntry memoizes one kernel-bank synthesis.
+type opticsEntry struct {
+	once sync.Once
+	bank *optics.Bank
+	err  error
+}
+
+var opticsCache sync.Map // opticsKey -> *opticsEntry
+
+// OpticsBankFor returns the process-wide shared kernel bank for the
+// given configuration and defocus, synthesising it on first use.
+// Kernel construction is deterministic and independent of the engine,
+// so memoizing across callers changes nothing but the sharing: N
+// pipelines at one preset derive the bank once instead of N times.
+func OpticsBankFor(cfg optics.Config, defocusNM float64, eng *engine.Engine) (*optics.Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	key := opticsKey{cfg: cfg, defocusNM: defocusNM}
+	v, ok := opticsCache.Load(key)
+	if !ok {
+		v, _ = opticsCache.LoadOrStore(key, &opticsEntry{})
+	}
+	e := v.(*opticsEntry)
+	e.once.Do(func() { e.bank, e.err = optics.NewBank(cfg, defocusNM, eng) })
+	return e.bank, e.err
+}
+
+// bankEntry memoizes one resource-bank construction.
+type bankEntry struct {
+	once sync.Once
+	bank *Bank
+	err  error
+}
+
+var bankCache sync.Map // opticsKey -> *bankEntry
+
+// BankFor returns the process-wide shared resource bank (on the Shared
+// pool) for the given optics configuration and defocus excursion,
+// deriving it on first use. This is what makes pipeline construction
+// cheap: every pipeline at one preset is a handle on the same bank.
+func BankFor(cfg optics.Config, defocusNM float64, eng *engine.Engine) (*Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	key := opticsKey{cfg: cfg, defocusNM: defocusNM}
+	v, ok := bankCache.Load(key)
+	if !ok {
+		v, _ = bankCache.LoadOrStore(key, &bankEntry{})
+	}
+	e := v.(*bankEntry)
+	e.once.Do(func() { e.bank, e.err = NewBank(cfg, defocusNM, eng, Shared) })
+	return e.bank, e.err
+}

@@ -1,0 +1,114 @@
+// Package rt is the session-based runtime substrate underneath the
+// optimizer pipelines: area-keyed free lists of field memory (Pool) and
+// immutable, concurrency-safe per-preset resource banks (Bank).
+//
+// The split mirrors how the paper's GPU implementation manages device
+// memory. Everything derivable once per optical preset — SOCS kernel
+// banks, FFT plans, rasterised targets — lives in a Bank shared by every
+// concurrent job, while the mutable per-job state (coherent-field
+// batches, gradient accumulators, level-set scratch) is leased from a
+// Pool and returned when the job's session ends. N concurrent
+// optimizations therefore cost one bank plus N sessions of scratch, with
+// the scratch itself recycled across jobs, instead of N fully duplicated
+// pipelines.
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lsopc/internal/grid"
+)
+
+// Pool is an area-keyed free list of Field/CField storage. Lease with
+// Field/CField, return with PutField/PutCField. Leased fields are always
+// zeroed, so a pooled lease is a drop-in replacement for grid.NewField —
+// results stay bit-identical whether memory is fresh or recycled.
+//
+// Free lists are keyed by element count, not shape: a released 512×256
+// field can come back as 256×512 (see grid.Field.Reshape). Backing
+// storage is held through sync.Pool, so memory pressure can reclaim idle
+// buffers between jobs.
+//
+// A Pool is safe for concurrent use. The zero value is ready to use.
+type Pool struct {
+	fields  sync.Map // int (element count) -> *sync.Pool of *grid.Field
+	cfields sync.Map // int (element count) -> *sync.Pool of *grid.CField
+
+	leases int64 // total leases served
+	reuses int64 // leases served from the free list
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Shared is the process-wide default pool. Pipelines and sessions lease
+// from it unless given a private pool, so independent pipelines at the
+// same preset recycle each other's scratch.
+var Shared = NewPool()
+
+func (p *Pool) fieldList(n int) *sync.Pool {
+	if sp, ok := p.fields.Load(n); ok {
+		return sp.(*sync.Pool)
+	}
+	sp, _ := p.fields.LoadOrStore(n, &sync.Pool{})
+	return sp.(*sync.Pool)
+}
+
+func (p *Pool) cfieldList(n int) *sync.Pool {
+	if sp, ok := p.cfields.Load(n); ok {
+		return sp.(*sync.Pool)
+	}
+	sp, _ := p.cfields.LoadOrStore(n, &sync.Pool{})
+	return sp.(*sync.Pool)
+}
+
+// Field leases a zeroed w×h field.
+func (p *Pool) Field(w, h int) *grid.Field {
+	atomic.AddInt64(&p.leases, 1)
+	if v := p.fieldList(w * h).Get(); v != nil {
+		atomic.AddInt64(&p.reuses, 1)
+		f := v.(*grid.Field)
+		f.Reshape(w, h)
+		f.Zero()
+		return f
+	}
+	return grid.NewField(w, h)
+}
+
+// PutField returns a field to the free list. nil is ignored. The caller
+// must not use f afterwards.
+func (p *Pool) PutField(f *grid.Field) {
+	if f == nil {
+		return
+	}
+	p.fieldList(len(f.Data)).Put(f)
+}
+
+// CField leases a zeroed w×h complex field.
+func (p *Pool) CField(w, h int) *grid.CField {
+	atomic.AddInt64(&p.leases, 1)
+	if v := p.cfieldList(w * h).Get(); v != nil {
+		atomic.AddInt64(&p.reuses, 1)
+		c := v.(*grid.CField)
+		c.Reshape(w, h)
+		c.Zero()
+		return c
+	}
+	return grid.NewCField(w, h)
+}
+
+// PutCField returns a complex field to the free list. nil is ignored.
+// The caller must not use c afterwards.
+func (p *Pool) PutCField(c *grid.CField) {
+	if c == nil {
+		return
+	}
+	p.cfieldList(len(c.Data)).Put(c)
+}
+
+// Stats reports total leases and how many were served from the free
+// list (for tests and capacity diagnostics).
+func (p *Pool) Stats() (leases, reuses int64) {
+	return atomic.LoadInt64(&p.leases), atomic.LoadInt64(&p.reuses)
+}

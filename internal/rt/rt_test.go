@@ -1,0 +1,252 @@
+package rt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/optics"
+)
+
+func TestPoolFieldReuseAndZeroing(t *testing.T) {
+	// sync.Pool may drop any individual Put (it deliberately does so
+	// under the race detector), so reuse is asserted over many rounds
+	// rather than on one lease.
+	p := NewPool()
+	recycled := false
+	for round := 0; round < 100 && !recycled; round++ {
+		f := p.Field(8, 4)
+		if f.W != 8 || f.H != 4 {
+			t.Fatalf("leased shape %dx%d", f.W, f.H)
+		}
+		f.Fill(3.5)
+		p.PutField(f)
+
+		// Same element count, different shape: a recycled buffer must
+		// come back reshaped and zeroed.
+		g := p.Field(4, 8)
+		if g.W != 4 || g.H != 8 {
+			t.Fatalf("reshaped lease %dx%d", g.W, g.H)
+		}
+		if &g.Data[0] == &f.Data[0] {
+			recycled = true
+			for i, v := range g.Data {
+				if v != 0 {
+					t.Fatalf("recycled field not zeroed at %d: %g", i, v)
+				}
+			}
+		}
+		p.PutField(g)
+	}
+	if !recycled {
+		t.Fatal("free list never recycled a buffer")
+	}
+	leases, reuses := p.Stats()
+	if reuses < 1 || reuses >= leases {
+		t.Fatalf("stats = %d leases / %d reuses", leases, reuses)
+	}
+}
+
+func TestPoolCFieldReuseAndZeroing(t *testing.T) {
+	p := NewPool()
+	recycled := false
+	for round := 0; round < 100 && !recycled; round++ {
+		c := p.CField(4, 4)
+		c.Data[5] = complex(1, 2)
+		p.PutCField(c)
+
+		d := p.CField(2, 8)
+		if d.W != 2 || d.H != 8 {
+			t.Fatalf("reshaped lease %dx%d", d.W, d.H)
+		}
+		if &d.Data[0] == &c.Data[0] {
+			recycled = true
+			for i, v := range d.Data {
+				if v != 0 {
+					t.Fatalf("recycled cfield not zeroed at %d: %v", i, v)
+				}
+			}
+		}
+		p.PutCField(d)
+	}
+	if !recycled {
+		t.Fatal("free list never recycled a buffer")
+	}
+}
+
+func TestPoolDistinctSizesDoNotMix(t *testing.T) {
+	p := NewPool()
+	small := p.Field(4, 4)
+	p.PutField(small)
+	big := p.Field(8, 8)
+	if len(big.Data) != 64 {
+		t.Fatalf("big lease has %d elements", len(big.Data))
+	}
+	_, reuses := p.Stats()
+	if reuses != 0 {
+		t.Fatal("a 16-element buffer must not serve a 64-element lease")
+	}
+}
+
+func TestPoolNilPutsAreSafe(t *testing.T) {
+	p := NewPool()
+	p.PutField(nil)
+	p.PutCField(nil)
+}
+
+func TestPoolConcurrentLeases(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := p.Field(16, 16)
+				c := p.CField(16, 16)
+				f.Fill(1)
+				c.Data[0] = 1
+				p.PutField(f)
+				p.PutCField(c)
+			}
+		}()
+	}
+	wg.Wait()
+	leases, _ := p.Stats()
+	if leases != 800 {
+		t.Fatalf("leases = %d, want 800", leases)
+	}
+}
+
+// testOptics returns a small distinct optics configuration per tag so
+// memoization tests do not collide across test runs in one process.
+func testOptics(kernels int) optics.Config {
+	cfg := optics.Default(64, 32)
+	cfg.Kernels = kernels
+	return cfg
+}
+
+func TestBankTargetMemoization(t *testing.T) {
+	b, err := BankFor(testOptics(2), 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds int32
+	build := func() (*grid.Field, error) {
+		atomic.AddInt32(&builds, 1)
+		return grid.NewField(b.GridSize(), b.GridSize()), nil
+	}
+
+	const workers = 8
+	got := make([]*grid.Field, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := b.Target("layout-A", build)
+			if err != nil {
+				t.Error(err)
+			}
+			got[i] = f
+		}(i)
+	}
+	wg.Wait()
+	if n := atomic.LoadInt32(&builds); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	for _, f := range got[1:] {
+		if f != got[0] {
+			t.Fatal("concurrent callers saw different targets")
+		}
+	}
+
+	// Errors are memoized too: the failed build is not retried.
+	wantErr := errors.New("bad layout")
+	for i := 0; i < 2; i++ {
+		_, err := b.Target("layout-bad", func() (*grid.Field, error) { return nil, wantErr })
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestOpticsBankMemoization(t *testing.T) {
+	cfg := testOptics(3)
+	a, err := OpticsBankFor(cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpticsBankFor(cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same configuration must share one kernel bank")
+	}
+	c, err := OpticsBankFor(cfg, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different defocus must not share a bank")
+	}
+	bad := cfg
+	bad.GridSize = 100 // not a power of two
+	if _, err := OpticsBankFor(bad, 0, nil); err == nil {
+		t.Fatal("invalid configuration accepted")
+	}
+}
+
+func TestBankForMemoizationAndAccessors(t *testing.T) {
+	cfg := testOptics(4)
+	a, err := BankFor(cfg, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BankFor(cfg, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same preset must share one resource bank")
+	}
+	if a.GridSize() != cfg.GridSize || a.Optics() != cfg || a.DefocusNM() != 25 {
+		t.Fatal("bank accessors wrong")
+	}
+	if a.Pool() != Shared {
+		t.Fatal("BankFor must use the shared pool")
+	}
+	if a.Nominal() == nil || a.Defocus() == nil || a.RowPlan() == nil || a.ColPlan() == nil {
+		t.Fatal("bank resources missing")
+	}
+	if r := a.Radius(); r < a.Nominal().Radius() || r < a.Defocus().Radius() {
+		t.Fatal("bank radius must cover both kernel banks")
+	}
+}
+
+func TestWrapBanksValidation(t *testing.T) {
+	if _, err := WrapBanks(nil, nil, nil); err == nil {
+		t.Fatal("nil banks accepted")
+	}
+	nom, err := OpticsBankFor(testOptics(2), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := OpticsBankFor(optics.Default(32, 64), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WrapBanks(nom, other, nil); err == nil {
+		t.Fatal("mismatched grids accepted")
+	}
+	bk, err := WrapBanks(nom, nom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk.Pool() != Shared {
+		t.Fatal("nil pool must default to Shared")
+	}
+}

@@ -15,6 +15,7 @@ package lsopc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"lsopc/internal/core"
@@ -26,6 +27,7 @@ import (
 	"lsopc/internal/metrics"
 	"lsopc/internal/pixelilt"
 	"lsopc/internal/procwin"
+	"lsopc/internal/rt"
 )
 
 // Re-exported types so downstream code only imports this package.
@@ -128,18 +130,30 @@ func (p Preset) params() (gridSize int, pixelNM float64, kernels int, err error)
 	}
 }
 
-// Pipeline bundles a configured simulator with the matching metric
-// checkers. It owns simulator scratch and is not safe for concurrent
-// use; create one per goroutine.
+// Pipeline is a cheap, concurrency-safe handle over one immutable
+// resource bank: the SOCS kernel banks, FFT plans and rasterised-target
+// cache derived once for its preset. All per-job mutable state lives in
+// Sessions leased from the pipeline — OptimizeLevelSet, OptimizeBaseline,
+// Evaluate, PrintedImages and ProcessWindow each acquire a session
+// internally, so any number of goroutines may call them concurrently on
+// one Pipeline; memory stays bounded by the number of simultaneous jobs,
+// and idle session scratch is recycled through the shared pool.
 type Pipeline struct {
 	preset  Preset
 	eng     *engine.Engine
-	sim     *litho.Simulator
+	cfg     litho.Config
+	res     *rt.Bank
 	metrics metrics.Config
+
+	mu   sync.Mutex
+	free []*Session // idle sessions on p.eng, reused by Session()
+	root *Session   // lazy never-closed session backing Simulator()
 }
 
 // NewPipeline builds a pipeline at the given preset on the given engine
-// (nil defaults to the serial CPU engine).
+// (nil defaults to the serial CPU engine). Construction is cheap after
+// the first pipeline at a preset: the kernel banks, FFT plans and other
+// derived resources are shared process-wide.
 func NewPipeline(p Preset, eng *Engine) (*Pipeline, error) {
 	gridSize, pixelNM, kernels, err := p.params()
 	if err != nil {
@@ -150,11 +164,17 @@ func NewPipeline(p Preset, eng *Engine) (*Pipeline, error) {
 	}
 	cfg := litho.DefaultConfig(gridSize, pixelNM)
 	cfg.Optics.Kernels = kernels
-	sim, err := litho.NewSimulator(cfg, eng)
+	res, err := rt.BankFor(cfg.Optics, cfg.DefocusNM, eng)
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{preset: p, eng: eng, sim: sim, metrics: metrics.DefaultConfig(pixelNM)}, nil
+	return &Pipeline{
+		preset:  p,
+		eng:     eng,
+		cfg:     cfg,
+		res:     res,
+		metrics: metrics.DefaultConfig(pixelNM),
+	}, nil
 }
 
 // Preset returns the pipeline's preset.
@@ -163,31 +183,198 @@ func (p *Pipeline) Preset() Preset { return p.preset }
 // Engine returns the pipeline's execution engine.
 func (p *Pipeline) Engine() *Engine { return p.eng }
 
-// Simulator exposes the underlying forward model for advanced use.
-func (p *Pipeline) Simulator() *litho.Simulator { return p.sim }
+// Resources returns the pipeline's immutable resource bank.
+func (p *Pipeline) Resources() *rt.Bank { return p.res }
+
+// Simulator exposes a forward-model simulator for advanced use. The
+// returned simulator is owned by the pipeline, lives until the process
+// exits, and is NOT safe for concurrent use — concurrent callers should
+// lease their own Session instead.
+func (p *Pipeline) Simulator() *litho.Simulator {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.root == nil {
+		s, err := newSession(p, p.eng)
+		if err != nil {
+			// The bank validated this exact configuration at pipeline
+			// construction, so a session cannot fail to build.
+			panic(fmt.Sprintf("lsopc: root session: %v", err))
+		}
+		p.root = s
+	}
+	return p.root.sim
+}
 
 // GridSize returns the simulation grid edge in pixels.
-func (p *Pipeline) GridSize() int { return p.sim.GridSize() }
+func (p *Pipeline) GridSize() int { return p.cfg.Optics.GridSize }
 
 // PixelNM returns the simulation pixel pitch in nm.
-func (p *Pipeline) PixelNM() float64 { return p.sim.PixelNM() }
+func (p *Pipeline) PixelNM() float64 { return p.cfg.Optics.PixelNM }
 
-// Target rasterises a layout onto the pipeline's simulation grid.
+// targetShared rasterises a layout onto the simulation grid through the
+// bank's memoized target cache: one rasterization per layout pointer per
+// bank, shared by every concurrent job. The returned field is read-only.
+func (p *Pipeline) targetShared(l *Layout) (*Field, error) {
+	return p.res.Target(l, func() (*grid.Field, error) {
+		pitch := int(p.PixelNM())
+		if float64(pitch) != p.PixelNM() {
+			return nil, fmt.Errorf("lsopc: non-integer pixel pitch %g", p.PixelNM())
+		}
+		f, err := geom.Rasterize(l, pitch)
+		if err != nil {
+			return nil, err
+		}
+		if f.W != p.GridSize() {
+			return nil, fmt.Errorf("lsopc: layout canvas %d nm does not match the %d-px grid at %d nm/px",
+				l.W, p.GridSize(), pitch)
+		}
+		return f, nil
+	})
+}
+
+// Target rasterises a layout onto the pipeline's simulation grid. The
+// rasterization is served from the bank's cache; the returned field is a
+// private copy the caller may modify.
 func (p *Pipeline) Target(l *Layout) (*Field, error) {
-	pitch := int(p.sim.PixelNM())
-	if float64(pitch) != p.sim.PixelNM() {
-		return nil, fmt.Errorf("lsopc: non-integer pixel pitch %g", p.sim.PixelNM())
-	}
-	f, err := geom.Rasterize(l, pitch)
+	f, err := p.targetShared(l)
 	if err != nil {
 		return nil, err
 	}
-	if f.W != p.sim.GridSize() {
-		return nil, fmt.Errorf("lsopc: layout canvas %d nm does not match the %d-px grid at %d nm/px",
-			l.W, p.sim.GridSize(), pitch)
-	}
-	return f, nil
+	return f.Clone(), nil
 }
+
+// Session is one leased unit of per-job mutable state: a simulator
+// session on the pipeline's bank plus evaluation scratch. A Session is
+// NOT safe for concurrent use — it is the thing you lease one of per
+// goroutine. Close returns it to the pipeline for reuse.
+type Session struct {
+	p       *Pipeline
+	eng     *engine.Engine
+	sim     *litho.Simulator
+	spec    *grid.CField
+	printed *grid.Field
+	outer   *grid.Field
+	inner   *grid.Field
+	closed  bool
+}
+
+// newSession builds a session on the given engine.
+func newSession(p *Pipeline, eng *engine.Engine) (*Session, error) {
+	sim, err := litho.NewSession(p.res, p.cfg, eng)
+	if err != nil {
+		return nil, err
+	}
+	n := p.GridSize()
+	pool := p.res.Pool()
+	return &Session{
+		p:       p,
+		eng:     eng,
+		sim:     sim,
+		spec:    pool.CField(n, n),
+		printed: pool.Field(n, n),
+		outer:   pool.Field(n, n),
+		inner:   pool.Field(n, n),
+	}, nil
+}
+
+// Session leases a session on the pipeline's engine, reusing an idle
+// one when available (its warm simulator scratch carries over). Close
+// the session when the job is done.
+func (p *Pipeline) Session() (*Session, error) {
+	p.mu.Lock()
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		p.mu.Unlock()
+		s.closed = false
+		return s, nil
+	}
+	p.mu.Unlock()
+	return newSession(p, p.eng)
+}
+
+// SessionOn leases a session scheduled on a specific engine (e.g. one
+// sub-engine of an Engine.Split partition). Sessions on engines other
+// than the pipeline's return their scratch to the pool on Close instead
+// of idling in the pipeline's free list.
+func (p *Pipeline) SessionOn(eng *Engine) (*Session, error) {
+	if eng == nil || eng == p.eng {
+		return p.Session()
+	}
+	return newSession(p, eng)
+}
+
+// Sessions leases n sessions whose engines partition the pipeline's
+// workers (Engine.Split), the layout for running n jobs concurrently
+// without oversubscribing the machine. Close each session when done.
+func (p *Pipeline) Sessions(n int) ([]*Session, error) {
+	subs := p.eng.Split(n)
+	out := make([]*Session, len(subs))
+	for i, sub := range subs {
+		s, err := newSession(p, sub)
+		if err != nil {
+			for _, prev := range out[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Close returns the session to its pipeline. Sessions on the pipeline's
+// engine idle in the free list with their scratch warm; sessions on
+// other engines release their leases back to the pool. Idempotent.
+func (s *Session) Close() {
+	if s == nil || s.closed {
+		return
+	}
+	s.closed = true
+	if s.eng == s.p.eng {
+		s.p.mu.Lock()
+		s.p.free = append(s.p.free, s)
+		s.p.mu.Unlock()
+		return
+	}
+	s.release()
+}
+
+// release returns every lease to the pool (used for non-pooled sessions
+// and by Pipeline.Release).
+func (s *Session) release() {
+	pool := s.p.res.Pool()
+	s.sim.Release()
+	pool.PutCField(s.spec)
+	pool.PutField(s.printed)
+	pool.PutField(s.outer)
+	pool.PutField(s.inner)
+	s.spec, s.printed, s.outer, s.inner = nil, nil, nil, nil
+}
+
+// Release drains the pipeline's idle sessions (including the Simulator()
+// session), returning their scratch to the shared pool. The pipeline
+// remains usable; the bank itself is shared and unaffected.
+func (p *Pipeline) Release() {
+	p.mu.Lock()
+	free := p.free
+	root := p.root
+	p.free, p.root = nil, nil
+	p.mu.Unlock()
+	for _, s := range free {
+		s.release()
+	}
+	if root != nil {
+		root.closed = true
+		root.release()
+	}
+}
+
+// Engine returns the engine the session schedules on.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// Simulator exposes the session's forward model.
+func (s *Session) Simulator() *litho.Simulator { return s.sim }
 
 // RunResult is a complete optimize-and-evaluate outcome.
 type RunResult struct {
@@ -203,23 +390,35 @@ type RunResult struct {
 }
 
 // OptimizeLevelSet runs the paper's optimizer on the layout and
-// evaluates the resulting mask.
+// evaluates the resulting mask. Safe to call concurrently (each call
+// leases its own session).
 func (p *Pipeline) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult, error) {
-	target, err := p.Target(l)
+	s, err := p.Session()
 	if err != nil {
 		return nil, err
 	}
-	opt, err := core.New(p.sim, target, opts)
+	defer s.Close()
+	return s.OptimizeLevelSet(l, opts)
+}
+
+// OptimizeLevelSet runs the paper's optimizer on this session.
+func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult, error) {
+	target, err := s.p.targetShared(l)
 	if err != nil {
 		return nil, err
 	}
+	opt, err := core.New(s.sim, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer opt.Release()
 	start := time.Now()
 	res, err := opt.Run()
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	report, err := p.Evaluate(l, res.Mask, elapsed)
+	report, err := s.Evaluate(l, res.Mask, elapsed)
 	if err != nil {
 		return nil, err
 	}
@@ -233,18 +432,29 @@ func (p *Pipeline) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult
 }
 
 // OptimizeBaseline runs one of the pixel-based comparison methods.
+// Safe to call concurrently (each call leases its own session).
 func (p *Pipeline) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult, error) {
-	target, err := p.Target(l)
+	s, err := p.Session()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.OptimizeBaseline(l, opts)
+}
+
+// OptimizeBaseline runs a pixel-based comparison method on this session.
+func (s *Session) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult, error) {
+	target, err := s.p.targetShared(l)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := pixelilt.Optimize(p.sim, target, opts)
+	res, err := pixelilt.Optimize(s.sim, target, opts)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	report, err := p.Evaluate(l, res.Mask, elapsed)
+	report, err := s.Evaluate(l, res.Mask, elapsed)
 	if err != nil {
 		return nil, err
 	}
@@ -259,46 +469,67 @@ func (p *Pipeline) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResul
 
 // Evaluate measures a mask against a layout with the contest checkers:
 // EPE at the nominal corner, PV band across the outer/inner corners,
-// shape violations, and the Eq. 18 score with the given runtime.
+// shape violations, and the Eq. 18 score with the given runtime. Safe to
+// call concurrently (each call leases its own session).
 func (p *Pipeline) Evaluate(l *Layout, mask *Field, elapsed time.Duration) (Report, error) {
-	n := p.sim.GridSize()
-	if mask.W != n || mask.H != n {
-		return Report{}, fmt.Errorf("lsopc: mask %dx%d does not match grid %d", mask.W, mask.H, n)
-	}
-	target, err := p.Target(l)
+	s, err := p.Session()
 	if err != nil {
 		return Report{}, err
 	}
-	spec := p.sim.MaskSpectrum(mask)
+	defer s.Close()
+	return s.Evaluate(l, mask, elapsed)
+}
 
-	printed := grid.NewField(n, n)
-	outer := grid.NewField(n, n)
-	inner := grid.NewField(n, n)
-	p.sim.PrintedBinary(printed, spec, litho.Nominal)
-	p.sim.PrintedBinary(outer, spec, litho.Outer)
-	p.sim.PrintedBinary(inner, spec, litho.Inner)
+// Evaluate measures a mask against a layout on this session.
+func (s *Session) Evaluate(l *Layout, mask *Field, elapsed time.Duration) (Report, error) {
+	n := s.sim.GridSize()
+	if mask.W != n || mask.H != n {
+		return Report{}, fmt.Errorf("lsopc: mask %dx%d does not match grid %d", mask.W, mask.H, n)
+	}
+	target, err := s.p.targetShared(l)
+	if err != nil {
+		return Report{}, err
+	}
+	s.sim.MaskSpectrumInto(s.spec, mask)
+	s.sim.PrintedBinary(s.printed, s.spec, litho.Nominal)
+	s.sim.PrintedBinary(s.outer, s.spec, litho.Outer)
+	s.sim.PrintedBinary(s.inner, s.spec, litho.Inner)
 
-	probes := metrics.Probes(l, p.metrics.EPESpacingNM)
-	epe, _ := metrics.EPE(printed, probes, p.metrics)
+	probes := metrics.Probes(l, s.p.metrics.EPESpacingNM)
+	epe, _ := metrics.EPE(s.printed, probes, s.p.metrics)
 	return Report{
 		EPEViolations:   epe,
-		PVBandNM2:       metrics.PVBand(outer, inner, p.sim.PixelNM()),
-		ShapeViolations: metrics.ShapeViolations(printed, target),
+		PVBandNM2:       metrics.PVBand(s.outer, s.inner, s.sim.PixelNM()),
+		ShapeViolations: metrics.ShapeViolations(s.printed, target),
 		RuntimeSec:      elapsed.Seconds(),
 	}, nil
 }
 
 // PrintedImages returns the binary printed images at the three corners
-// (nominal, outer, inner) for visualisation.
+// (nominal, outer, inner) for visualisation. Safe to call concurrently
+// (each call leases its own session).
 func (p *Pipeline) PrintedImages(mask *Field) (nominal, outer, inner *Field) {
-	n := p.sim.GridSize()
-	spec := p.sim.MaskSpectrum(mask)
+	s, err := p.Session()
+	if err != nil {
+		// Session construction can only fail on an invalid configuration,
+		// which NewPipeline already validated.
+		panic(fmt.Sprintf("lsopc: session: %v", err))
+	}
+	defer s.Close()
+	return s.PrintedImages(mask)
+}
+
+// PrintedImages returns freshly allocated binary printed images at the
+// three corners on this session.
+func (s *Session) PrintedImages(mask *Field) (nominal, outer, inner *Field) {
+	n := s.sim.GridSize()
+	s.sim.MaskSpectrumInto(s.spec, mask)
 	nominal = grid.NewField(n, n)
 	outer = grid.NewField(n, n)
 	inner = grid.NewField(n, n)
-	p.sim.PrintedBinary(nominal, spec, litho.Nominal)
-	p.sim.PrintedBinary(outer, spec, litho.Outer)
-	p.sim.PrintedBinary(inner, spec, litho.Inner)
+	s.sim.PrintedBinary(nominal, s.spec, litho.Nominal)
+	s.sim.PrintedBinary(outer, s.spec, litho.Outer)
+	s.sim.PrintedBinary(inner, s.spec, litho.Inner)
 	return nominal, outer, inner
 }
 
@@ -338,12 +569,13 @@ type (
 
 // ProcessWindow sweeps the mask across the contest's focus/dose window
 // (±25 nm, ±2 %) on a 6×5 matrix and measures the printed CD at the cut
-// (Bossung-curve data). The sweep builds its own kernel banks and does
-// not disturb the pipeline's simulator state.
+// (Bossung-curve data). The per-focus kernel banks come from the shared
+// memoized cache; the sweep does not disturb any session state.
 func (p *Pipeline) ProcessWindow(mask *Field, cut CutLine) (*ProcessWindowResult, error) {
-	an, err := procwin.New(procwin.DefaultConfig(p.sim.Config()), p.eng)
+	an, err := procwin.New(procwin.DefaultConfig(p.cfg), p.eng)
 	if err != nil {
 		return nil, err
 	}
+	defer an.Release()
 	return an.Sweep(mask, cut)
 }

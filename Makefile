@@ -5,12 +5,13 @@
 #   make race    - race-detector run over the parallel execution layers
 #   make vet     - static analysis
 #   make bench   - the headline benchmarks behind the Table II claims
+#   make trace   - instrumented run + JSONL trace validation (tracecheck)
 #   make benchjson - regenerate the "after" entry of BENCH_batchfft.json
 #   make check   - build + vet + test + race, the pre-commit bundle
 
 GO ?= go
 
-.PHONY: all build test race vet bench benchjson benchsessions check
+.PHONY: all build test race vet bench benchjson benchsessions trace check
 
 all: check
 
@@ -23,9 +24,16 @@ test:
 # The packages whose correctness depends on goroutine scheduling: the
 # engine worker pool, the batched FFT passes, the litho paths that fan
 # kernels/corners across workers, the session runtime (pool + banks),
-# and the root package's concurrent-pipeline equivalence tests.
+# the observability layer (shared sinks, atomic metrics), and the root
+# package's concurrent-pipeline equivalence and trace-integrity tests.
 race:
-	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/rt .
+	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/rt ./internal/obs .
+
+# One instrumented benchmark run; fails if the emitted JSONL trace is
+# malformed or missing any event family of the taxonomy (DESIGN.md §9).
+trace:
+	$(GO) run ./cmd/lsopc -preset test -case B1 -iters 3 -tracefile /tmp/lsopc-trace.jsonl
+	$(GO) run ./cmd/tracecheck -require iteration,corner,plan_cache,pool,span /tmp/lsopc-trace.jsonl
 
 vet:
 	$(GO) vet ./...

@@ -61,6 +61,8 @@ func main() {
 	note := flag.String("note", "", "free-form note stored with the run")
 	filter := flag.String("bench", "", "substring filter on benchmark names")
 	sessions := flag.Bool("sessions", false, "measure concurrent-session throughput instead (BENCH_sessions.json)")
+	tracePath := flag.String("tracefile", "", "write a structured JSONL event trace of the sessions sweep to this file")
+	metrics := flag.Bool("metrics", false, "store the full flat metrics snapshot with the run (sessions mode)")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
@@ -70,7 +72,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_sessions.json"
 		}
-		sessionsMain(*out, *label, *note)
+		sessionsMain(*out, *label, *note, *tracePath, *metrics)
 		return
 	}
 	if *out == "" {

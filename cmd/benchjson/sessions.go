@@ -27,16 +27,22 @@ import (
 	"lsopc/internal/core"
 	"lsopc/internal/grid"
 	"lsopc/internal/litho"
+	"lsopc/internal/obs"
 	"lsopc/internal/optics"
 )
 
-// SessionsMeasurement is one throughput mode's outcome.
+// SessionsMeasurement is one throughput mode's outcome. The metrics map
+// holds per-mode observability rates derived from the default registry:
+// pool_hit_rate (pool leases served from the free list), plan_cache_hit_rate
+// (FFT plan lookups served from cache) and worker_utilization (busy time
+// per engine worker over the mode's wall time).
 type SessionsMeasurement struct {
-	Sessions      int     `json:"sessions"`
-	Layouts       int     `json:"layouts"`
-	ElapsedSec    float64 `json:"elapsed_sec"`
-	LayoutsPerSec float64 `json:"layouts_per_sec"`
-	Note          string  `json:"note,omitempty"`
+	Sessions      int                `json:"sessions"`
+	Layouts       int                `json:"layouts"`
+	ElapsedSec    float64            `json:"elapsed_sec"`
+	LayoutsPerSec float64            `json:"layouts_per_sec"`
+	Note          string             `json:"note,omitempty"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
 }
 
 // SessionsRun is one labelled sweep of all modes.
@@ -47,6 +53,29 @@ type SessionsRun struct {
 	MaxIter    int                            `json:"max_iter"`
 	Note       string                         `json:"note,omitempty"`
 	Modes      map[string]SessionsMeasurement `json:"modes"`
+	// Snapshot is the full flat dump of the default metrics registry at
+	// the end of the sweep (-metrics only).
+	Snapshot map[string]float64 `json:"metrics_snapshot,omitempty"`
+}
+
+// modeMetrics derives the per-mode observability rates from two registry
+// snapshots bracketing the mode plus the engine's busy-time accumulator.
+// workers is the mode's logical worker count (a sessions/k Split can run
+// more logical workers than the root engine has), so utilization stays a
+// fraction of the scheduled capacity even when oversubscribed.
+func modeMetrics(before, after map[string]float64, wb *obs.WorkerBusy, wall time.Duration, workers int) map[string]float64 {
+	d := func(k string) float64 { return after[k] - before[k] }
+	m := map[string]float64{}
+	if leases := d("rt.pool.leases"); leases > 0 {
+		m["pool_hit_rate"] = d("rt.pool.reuses") / leases
+	}
+	if lookups := d("fft.plan_cache.hits") + d("fft.plan_cache.misses"); lookups > 0 {
+		m["plan_cache_hit_rate"] = d("fft.plan_cache.hits") / lookups
+	}
+	if wb != nil && wall > 0 {
+		m["worker_utilization"] = wb.UtilizationOver(wall, workers)
+	}
+	return m
 }
 
 // SessionsFile is the BENCH_sessions.json artefact.
@@ -73,12 +102,45 @@ func optimizeJob(sim *litho.Simulator, target *grid.Field) error {
 	return err
 }
 
-func sessionsMain(out, label, note string) {
+func sessionsMain(out, label, note, tracePath string, withSnapshot bool) {
 	eng := lsopc.GPUEngine()
-	pipe, err := lsopc.NewPipeline(lsopc.PresetTest, eng)
+	// Per-worker busy-time accounting: Split sub-engines inherit the
+	// accumulator with disjoint slots, so the sessions/k fan-out
+	// attributes busy time to distinct workers. Sized for the widest
+	// fan-out of the sweep — Sessions(k) keeps at least one worker per
+	// sub-engine, so k can exceed the root worker count on small hosts.
+	maxWorkers := eng.Workers()
+	if n := runtime.NumCPU(); n > maxWorkers {
+		maxWorkers = n
+	}
+	if maxWorkers < 2 {
+		maxWorkers = 2 // the sweep always runs a sessions/2 mode
+	}
+	wb := obs.NewWorkerBusy(maxWorkers)
+	eng.InstrumentBusy(wb)
+	var popts []lsopc.PipelineOption
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		sink := lsopc.NewJSONLTraceSink(f)
+		lsopc.SetRuntimeTrace(sink)
+		popts = append(popts, lsopc.WithTraceSink(sink))
+		defer func() {
+			lsopc.SetRuntimeTrace(nil)
+			if err := lsopc.FlushTrace(sink); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "event trace written to %s\n", tracePath)
+		}()
+	}
+	pipe, err := lsopc.NewPipeline(lsopc.PresetTest, eng, popts...)
 	if err != nil {
 		fatal(err)
 	}
+	defer pipe.Release()
 	cfg := pipe.Simulator().Config()
 
 	// Targets are rasterised once up front; every mode optimizes the
@@ -105,6 +167,8 @@ func sessionsMain(out, label, note string) {
 	// Before: one dedicated pipeline per job, kernel banks re-derived
 	// every time (bypassing the memoized bank cache via optics.NewBank).
 	fmt.Fprintf(os.Stderr, "running %-24s ", "dedicated-pipelines")
+	snap := lsopc.MetricsSnapshot()
+	wb.Reset()
 	start := time.Now()
 	for i := range targets {
 		nom, err := optics.NewBank(cfg.Optics, 0, eng)
@@ -125,8 +189,10 @@ func sessionsMain(out, label, note string) {
 			fatal(err)
 		}
 	}
-	record(&run, "dedicated-pipelines", 1, len(targets), time.Since(start),
-		"per-job kernel-bank synthesis and scratch (pre-session architecture)")
+	elapsed := time.Since(start)
+	record(&run, "dedicated-pipelines", 1, len(targets), elapsed,
+		"per-job kernel-bank synthesis and scratch (pre-session architecture)",
+		modeMetrics(snap, lsopc.MetricsSnapshot(), wb, elapsed, eng.Workers()))
 
 	// After: 1, 2, and NumCPU concurrent sessions over one shared bank.
 	counts := []int{1, 2}
@@ -140,6 +206,8 @@ func sessionsMain(out, label, note string) {
 		if err != nil {
 			fatal(err)
 		}
+		snap := lsopc.MetricsSnapshot()
+		wb.Reset()
 		start := time.Now()
 		var wg sync.WaitGroup
 		errs := make([]error, k)
@@ -165,7 +233,15 @@ func sessionsMain(out, label, note string) {
 		for _, s := range sessions {
 			s.Close()
 		}
-		record(&run, name, k, len(targets), elapsed, "shared bank, pooled scratch")
+		logical := eng.Workers()
+		if k > logical {
+			logical = k
+		}
+		record(&run, name, k, len(targets), elapsed, "shared bank, pooled scratch",
+			modeMetrics(snap, lsopc.MetricsSnapshot(), wb, elapsed, logical))
+	}
+	if withSnapshot {
+		run.Snapshot = lsopc.MetricsSnapshot()
 	}
 
 	file := SessionsFile{
@@ -195,16 +271,18 @@ func sessionsMain(out, label, note string) {
 	fmt.Fprintf(os.Stderr, "wrote %s (label %q, %d modes)\n", out, label, len(run.Modes))
 }
 
-func record(run *SessionsRun, name string, k, layouts int, elapsed time.Duration, note string) {
+func record(run *SessionsRun, name string, k, layouts int, elapsed time.Duration, note string, metrics map[string]float64) {
 	m := SessionsMeasurement{
 		Sessions:      k,
 		Layouts:       layouts,
 		ElapsedSec:    elapsed.Seconds(),
 		LayoutsPerSec: float64(layouts) / elapsed.Seconds(),
 		Note:          note,
+		Metrics:       metrics,
 	}
 	run.Modes[name] = m
-	fmt.Fprintf(os.Stderr, "%8.2fs  %6.2f layouts/sec\n", m.ElapsedSec, m.LayoutsPerSec)
+	fmt.Fprintf(os.Stderr, "%8.2fs  %6.2f layouts/sec  pool-hit=%.0f%% util=%.0f%%\n",
+		m.ElapsedSec, m.LayoutsPerSec, 100*metrics["pool_hit_rate"], 100*metrics["worker_utilization"])
 }
 
 func fatal(err error) {

@@ -6,6 +6,8 @@
 //	lsopc -case B4 -preset fast
 //	lsopc -glp design.glp -preset fast -method MOSAIC_exact
 //	lsopc -case B1 -iters 30 -pvb-weight 0.8 -out mask.pgm -ascii
+//	lsopc -case B4 -tracefile run.jsonl          # structured event trace
+//	lsopc -case B4 -metrics 127.0.0.1:6060       # live /metrics + pprof
 package main
 
 import (
@@ -30,16 +32,18 @@ func main() {
 		outGLP    = flag.String("out-glp", "", "write the optimized mask geometry as a GLP file")
 		ascii     = flag.Bool("ascii", false, "print an ASCII preview of target vs printed image")
 		trace     = flag.Bool("trace", false, "print the per-iteration cost trace (level-set only)")
+		tracePath = flag.String("tracefile", "", "write a structured JSONL event trace (iterations, corner timings, plan-cache and pool events) to this file")
+		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
-	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace); err != nil {
+	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "lsopc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool) error {
+func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string) error {
 	preset, err := lsopc.ParsePreset(presetStr)
 	if err != nil {
 		return err
@@ -48,10 +52,40 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 	if serial {
 		eng = lsopc.CPUEngine()
 	}
-	pipe, err := lsopc.NewPipeline(preset, eng)
+	if metricsAddr != "" {
+		srv, addr, err := lsopc.ServeMetrics(metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
+	var popts []lsopc.PipelineOption
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		sink := lsopc.NewJSONLTraceSink(f)
+		// Install as the runtime sink before the pipeline is built so
+		// plan-cache and pool events from bank/session construction land
+		// in the same stream as the optimizer's iteration events.
+		lsopc.SetRuntimeTrace(sink)
+		popts = append(popts, lsopc.WithTraceSink(sink))
+		defer func() {
+			lsopc.SetRuntimeTrace(nil)
+			if err := lsopc.FlushTrace(sink); err != nil {
+				fmt.Fprintln(os.Stderr, "lsopc: trace flush:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "event trace written to %s\n", tracePath)
+		}()
+	}
+	pipe, err := lsopc.NewPipeline(preset, eng, popts...)
 	if err != nil {
 		return err
 	}
+	defer pipe.Release()
 
 	layout, err := loadLayout(caseID, glpPath)
 	if err != nil {

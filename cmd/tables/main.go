@@ -36,19 +36,20 @@ func main() {
 		dir       = flag.String("dir", "out", "output directory for figure images")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
 		csvPath   = flag.String("csv", "", "also write raw table results as CSV")
+		tracePath = flag.String("tracefile", "", "write a structured JSONL event trace of every run to this file")
 	)
 	flag.Parse()
 
 	if *table == "" && *fig == 0 && *ablation == "" {
 		*table = "12" // default: everything tabular
 	}
-	if err := run(*table, *fig, *ablation, *presetStr, *casesStr, *caseID, *iterScale, *dir, *quiet, *csvPath); err != nil {
+	if err := run(*table, *fig, *ablation, *presetStr, *casesStr, *caseID, *iterScale, *dir, *quiet, *csvPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, fig int, ablation, presetStr, casesStr, caseID string, iterScale float64, dir string, quiet bool, csvPath string) error {
+func run(table string, fig int, ablation, presetStr, casesStr, caseID string, iterScale float64, dir string, quiet bool, csvPath, tracePath string) error {
 	preset, err := lsopc.ParsePreset(presetStr)
 	if err != nil {
 		return err
@@ -61,6 +62,18 @@ func run(table string, fig int, ablation, presetStr, casesStr, caseID string, it
 		}
 		if !quiet {
 			opts.Progress = os.Stderr
+		}
+		if tracePath != "" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			sink := lsopc.NewJSONLTraceSink(f)
+			opts.Sink = sink
+			defer func() {
+				lsopc.FlushTrace(sink)
+				f.Close()
+			}()
 		}
 		rows, err := experiments.Run(opts)
 		if err != nil {

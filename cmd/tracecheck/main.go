@@ -1,0 +1,121 @@
+// Command tracecheck validates a structured JSONL event trace produced
+// by the -tracefile flag of lsopc/benchjson (or any obs.JSONLSink
+// stream). It fails with a non-zero exit when a line is not valid JSON,
+// an event carries no type, or the sink-assigned sequence numbers are
+// not strictly increasing — the integrity invariants concurrent
+// sessions rely on. With -require it additionally asserts that given
+// event types are present, so CI can prove a run actually exercised the
+// instrumented layers.
+//
+// Usage:
+//
+//	tracecheck run.jsonl
+//	tracecheck -require iteration,corner,plan_cache,pool run.jsonl
+//	lsopc -case B1 -tracefile /dev/stdout ... | tracecheck -
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"lsopc/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated event types that must appear at least once")
+	quiet := flag.Bool("q", false, "suppress the per-type summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require types] <trace.jsonl | ->")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	name := flag.Arg(0)
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	counts, err := check(in)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		types := make([]string, 0, len(counts))
+		for t := range counts {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		total := 0
+		for _, t := range types {
+			fmt.Printf("%-12s %d\n", t, counts[t])
+			total += counts[t]
+		}
+		fmt.Printf("%-12s %d\n", "total", total)
+	}
+	if *require != "" {
+		var missing []string
+		for _, t := range strings.Split(*require, ",") {
+			t = strings.TrimSpace(t)
+			if t != "" && counts[t] == 0 {
+				missing = append(missing, t)
+			}
+		}
+		if len(missing) > 0 {
+			fatal(fmt.Errorf("required event types missing from trace: %s", strings.Join(missing, ", ")))
+		}
+	}
+}
+
+// check validates every line of the stream and tallies events per type.
+func check(in io.Reader) (map[string]int, error) {
+	counts := map[string]int{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	lastSeq := int64(0)
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			return nil, fmt.Errorf("line %d: empty line", line)
+		}
+		var e obs.Event
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("line %d: invalid JSON: %v", line, err)
+		}
+		if e.Type == "" {
+			return nil, fmt.Errorf("line %d: event has no type", line)
+		}
+		if e.Seq != 0 {
+			if e.Seq <= lastSeq {
+				return nil, fmt.Errorf("line %d: seq %d not strictly increasing after %d", line, e.Seq, lastSeq)
+			}
+			lastSeq = e.Seq
+		}
+		counts[e.Type]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("trace is empty")
+	}
+	return counts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

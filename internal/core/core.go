@@ -20,12 +20,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"lsopc/internal/grid"
 	"lsopc/internal/levelset"
 	"lsopc/internal/litho"
 	"lsopc/internal/metrics"
+	"lsopc/internal/obs"
 	"lsopc/internal/rt"
+)
+
+// Optimizer-loop metrics in the default registry.
+var (
+	mIterations = obs.Default.Counter("core.iterations")
+	mStepNS     = obs.Default.Histogram("core.step_ns", obs.DurationBounds)
 )
 
 // Options configures the optimizer. DefaultOptions gives the paper's
@@ -89,6 +97,15 @@ type Options struct {
 	// solution. Must match the grid; nil uses the target (Algorithm 1,
 	// line 1).
 	InitialMask *grid.Field
+	// Sink receives one structured iteration event per optimizer step
+	// (cost terms, gradient norm, step size) plus per-corner simulate
+	// spans from the underlying simulator sessions. nil (the default)
+	// disables tracing; the disabled path is a nil check and performs no
+	// allocations, so the steady-state iteration stays allocation-free.
+	Sink obs.Sink
+	// TraceID tags this run's events so traces from concurrent
+	// optimizations through a shared sink stay distinguishable.
+	TraceID string
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -254,6 +271,11 @@ func New(sim *litho.Simulator, target *grid.Field, opts Options) (*Optimizer, er
 	}
 	o := &Optimizer{sim: sim, target: target, opts: opts, pool: sim.Pool()}
 	pool := o.pool
+	if opts.Sink != nil {
+		// Attach before the corner siblings are created so they inherit
+		// the sink and emit per-corner simulate spans under one trace id.
+		sim.SetSink(opts.Sink, opts.TraceID)
+	}
 	if opts.PVBWeight > 0 {
 		subs := sim.Engine().Split(len(litho.AllConditions))
 		for i, cond := range litho.AllConditions {
@@ -395,6 +417,7 @@ var lineSearchFactors = [3]float64{0.5, 1, 2}
 // should stop. All scratch lives on the optimizer and every engine task
 // is pre-bound, so a steady-state step performs no allocations.
 func (o *Optimizer) step(i int) (stop bool) {
+	stepStart := time.Now()
 	res := o.res
 	// Lines 7–8: extract mask, simulate, accumulate gradient.
 	levelset.MaskFromPsi(o.mask, o.psi)
@@ -497,6 +520,24 @@ func (o *Optimizer) step(i int) (stop bool) {
 		TimeStep:    dt,
 		LambdaPRP:   lambda,
 	})
+	mIterations.Inc()
+	mStepNS.Observe(float64(time.Since(stepStart)))
+	if o.opts.Sink != nil {
+		o.opts.Sink.Emit(obs.Event{
+			Type:        obs.EventIteration,
+			Trace:       o.opts.TraceID,
+			Engine:      o.sim.Engine().Name(),
+			Iter:        i,
+			Cost:        costTotal,
+			CostNominal: costNom,
+			CostPVB:     costPVB,
+			GradNorm:    o.gTerm.Norm(),
+			MaxVelocity: maxV,
+			TimeStep:    dt,
+			LambdaPRP:   lambda,
+			DurNS:       time.Since(stepStart).Nanoseconds(),
+		})
+	}
 	if o.opts.SnapshotEvery > 0 && i%o.opts.SnapshotEvery == 0 {
 		res.Snapshots = append(res.Snapshots, Snapshot{Iter: i, Mask: o.mask.Clone()})
 	}

@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"lsopc/internal/obs"
 )
 
 // Engine schedules data-parallel loops over a fixed number of workers.
@@ -27,6 +30,12 @@ import (
 type Engine struct {
 	workers int
 	name    string
+
+	// Optional per-worker busy-time accumulator. When nil (the default)
+	// scheduling paths pay only a nil check; when set, every worker's
+	// body time is added to its slot so callers can compute utilization.
+	busy    *obs.WorkerBusy
+	busyOff int // this engine's first slot in busy (for Split sub-engines)
 }
 
 // New returns an engine with the given worker count (at least 1) and a
@@ -58,6 +67,24 @@ func (e *Engine) String() string { return fmt.Sprintf("engine(%s, %d workers)", 
 // Serial reports whether the engine runs with a single worker.
 func (e *Engine) Serial() bool { return e.workers == 1 }
 
+// InstrumentBusy attaches a per-worker busy-time accumulator to the
+// engine and returns the engine for chaining. Pass nil to detach. The
+// accumulator should have at least Workers() slots; out-of-range slots
+// clamp (see obs.WorkerBusy.Add). Sub-engines created by Split inherit
+// the accumulator with disjoint slot ranges, so nested fan-outs
+// attribute busy time to distinct physical workers. Only the leaf
+// chunked loops (ForChunk, For, Map) record busy time — Parallel does
+// not, because its tasks typically fan out through those same loops on
+// the engine and timing both levels would double-count the interval.
+func (e *Engine) InstrumentBusy(wb *obs.WorkerBusy) *Engine {
+	e.busy = wb
+	e.busyOff = 0
+	return e
+}
+
+// Busy returns the attached busy-time accumulator, or nil.
+func (e *Engine) Busy() *obs.WorkerBusy { return e.busy }
+
 // Split partitions the engine's workers into n sub-engines for nested
 // parallelism: an outer Parallel over n independent tasks (e.g. the
 // three process corners) can hand each task a sub-engine so the inner
@@ -73,12 +100,16 @@ func (e *Engine) Split(n int) []*Engine {
 	}
 	subs := make([]*Engine, n)
 	base, rem := e.workers/n, e.workers%n
+	off := e.busyOff
 	for i := range subs {
 		w := base
 		if i < rem {
 			w++
 		}
 		subs[i] = New(fmt.Sprintf("%s/%d", e.name, i), w)
+		subs[i].busy = e.busy
+		subs[i].busyOff = off
+		off += w
 	}
 	return subs
 }
@@ -107,6 +138,12 @@ func (e *Engine) ForChunk(n int, body func(lo, hi int)) {
 		w = n
 	}
 	if w == 1 {
+		if e.busy != nil {
+			t0 := time.Now()
+			body(0, n)
+			e.busy.Add(e.busyOff, time.Since(t0))
+			return
+		}
 		body(0, n)
 		return
 	}
@@ -123,10 +160,16 @@ func (e *Engine) ForChunk(n int, body func(lo, hi int)) {
 			wg.Done()
 			continue
 		}
-		go func(lo, hi int) {
+		go func(worker, lo, hi int) {
 			defer wg.Done()
+			if e.busy != nil {
+				t0 := time.Now()
+				body(lo, hi)
+				e.busy.Add(e.busyOff+worker, time.Since(t0))
+				return
+			}
 			body(lo, hi)
-		}(lo, hi)
+		}(k, lo, hi)
 	}
 	wg.Wait()
 }
@@ -171,6 +214,14 @@ func (e *Engine) Map(n int, body func(worker, i int)) {
 		w = n
 	}
 	if w == 1 {
+		if e.busy != nil {
+			t0 := time.Now()
+			for i := 0; i < n; i++ {
+				body(0, i)
+			}
+			e.busy.Add(e.busyOff, time.Since(t0))
+			return
+		}
 		for i := 0; i < n; i++ {
 			body(0, i)
 		}
@@ -191,6 +242,14 @@ func (e *Engine) Map(n int, body func(worker, i int)) {
 		}
 		go func(worker, lo, hi int) {
 			defer wg.Done()
+			if e.busy != nil {
+				t0 := time.Now()
+				for i := lo; i < hi; i++ {
+					body(worker, i)
+				}
+				e.busy.Add(e.busyOff+worker, time.Since(t0))
+				return
+			}
 			for i := lo; i < hi; i++ {
 				body(worker, i)
 			}

@@ -44,8 +44,28 @@ type Options struct {
 	// IterScale scales every method's iteration budget (0 = 1.0); use
 	// small values for smoke tests.
 	IterScale float64
-	// Progress, when non-nil, receives one line per completed run.
+	// Sink, when non-nil, receives one EventProgress per completed run
+	// plus the structured iteration/corner/span events from every
+	// optimization in the sweep.
+	Sink lsopc.TraceSink
+	// Progress, when non-nil, receives one line per completed run. It is
+	// a thin adapter over Sink: when Sink is nil the writer is wrapped in
+	// a line sink, so existing callers keep byte-identical output.
 	Progress io.Writer
+}
+
+// sink resolves the effective progress sink once per run: the explicit
+// Sink, the legacy Progress writer wrapped as a line sink, or both.
+func (o Options) sink() lsopc.TraceSink {
+	switch {
+	case o.Sink != nil && o.Progress != nil:
+		return lsopc.TeeTraceSink(o.Sink, lsopc.NewLineTraceSink(o.Progress))
+	case o.Sink != nil:
+		return o.Sink
+	case o.Progress != nil:
+		return lsopc.NewLineTraceSink(o.Progress)
+	}
+	return nil
 }
 
 func (o Options) iters(base int) int {
@@ -71,9 +91,9 @@ func (o Options) cases() []string {
 	return ids
 }
 
-func (o Options) progressf(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format, args...)
+func progressf(sink lsopc.TraceSink, format string, args ...any) {
+	if sink != nil {
+		sink.Emit(lsopc.TraceEvent{Type: lsopc.EventProgress, Msg: fmt.Sprintf(format, args...)})
 	}
 }
 
@@ -105,11 +125,20 @@ func Run(o Options) ([]CaseResult, error) {
 	if eng == nil {
 		eng = lsopc.GPUEngine()
 	}
-	pipe, err := lsopc.NewPipeline(o.Preset, eng)
+	// The effective sink is resolved once: an explicit Sink carries the
+	// full structured event stream and is attached to the pipelines; a
+	// bare Progress writer only receives the per-run progress lines
+	// (keeping legacy output byte-identical).
+	sink := o.sink()
+	var popts []lsopc.PipelineOption
+	if o.Sink != nil {
+		popts = append(popts, lsopc.WithTraceSink(o.Sink))
+	}
+	pipe, err := lsopc.NewPipeline(o.Preset, eng, popts...)
 	if err != nil {
 		return nil, err
 	}
-	cpuPipe, err := lsopc.NewPipeline(o.Preset, lsopc.CPUEngine())
+	cpuPipe, err := lsopc.NewPipeline(o.Preset, lsopc.CPUEngine(), popts...)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +160,7 @@ func Run(o Options) ([]CaseResult, error) {
 				return nil, fmt.Errorf("%s/%v: %w", id, v, err)
 			}
 			cr.Reports[v.String()] = run.Report
-			o.progressf("%s %-12s %s\n", id, v, run.Report)
+			progressf(sink, "%s %-12s %s\n", id, v, run.Report)
 		}
 
 		// Ours on the parallel engine (Table I entry + GPU runtime).
@@ -142,7 +171,7 @@ func Run(o Options) ([]CaseResult, error) {
 		}
 		cr.Reports[OursName] = run.Report
 		cr.OursGPUSeconds = run.Elapsed.Seconds()
-		o.progressf("%s %-12s %s\n", id, "Ours(GPU)", run.Report)
+		progressf(sink, "%s %-12s %s\n", id, "Ours(GPU)", run.Report)
 
 		// Ours again on the serial engine (Table II CPU runtime).
 		cpuRun, err := cpuPipe.OptimizeLevelSet(layout, lsOpts)
@@ -150,10 +179,12 @@ func Run(o Options) ([]CaseResult, error) {
 			return nil, fmt.Errorf("%s/level-set-cpu: %w", id, err)
 		}
 		cr.OursCPUSeconds = cpuRun.Elapsed.Seconds()
-		o.progressf("%s %-12s RT=%.1fs\n", id, "Ours(CPU)", cr.OursCPUSeconds)
+		progressf(sink, "%s %-12s RT=%.1fs\n", id, "Ours(CPU)", cr.OursCPUSeconds)
 
 		out = append(out, cr)
 	}
+	pipe.Release()
+	cpuPipe.Release()
 	return out, nil
 }
 

@@ -14,7 +14,22 @@ import (
 	"sync"
 
 	"lsopc/internal/grid"
+	"lsopc/internal/obs"
 )
+
+// Plan-cache metrics in the default registry. Lookups happen at bank
+// and session construction, never in the per-iteration hot path.
+var (
+	mPlanHits   = obs.Default.Counter("fft.plan_cache.hits")
+	mPlanMisses = obs.Default.Counter("fft.plan_cache.misses")
+)
+
+// tracePlanCache reports one cache lookup to the runtime trace sink.
+func tracePlanCache(n int, hit bool) {
+	if s := obs.Runtime(); s != nil {
+		s.Emit(obs.Event{Type: obs.EventPlanCache, Name: "plan1d", N: n, Hit: hit})
+	}
+}
 
 // Plan holds the precomputed tables for 1-D transforms of a fixed
 // power-of-two length. A Plan is immutable after creation and safe for
@@ -126,14 +141,20 @@ func CachedPlan(n int) *Plan {
 	p := planCache.m[n]
 	planCache.RUnlock()
 	if p != nil {
+		mPlanHits.Inc()
+		tracePlanCache(n, true)
 		return p
 	}
 	planCache.Lock()
 	defer planCache.Unlock()
 	if p, ok := planCache.m[n]; ok {
+		mPlanHits.Inc()
+		tracePlanCache(n, true)
 		return p
 	}
 	p = NewPlan(n)
 	planCache.m[n] = p
+	mPlanMisses.Inc()
+	tracePlanCache(n, false)
 	return p
 }

@@ -1,6 +1,8 @@
 package litho
 
 import (
+	"time"
+
 	"lsopc/internal/grid"
 )
 
@@ -37,6 +39,7 @@ func (s *Simulator) retained(k int) []*grid.CField {
 // memory: the forward pass leaves all K fields E_k in the batch, and the
 // adjoint pass reuses them in place.
 func (s *Simulator) ForwardAndGradient(grad *grid.Field, maskSpec *grid.CField, cond Condition, target *grid.Field, out *CornerImages, weight float64) float64 {
+	start := time.Now()
 	bank := s.Bank(cond)
 	dose := s.Dose(cond)
 	retain := s.canRetain()
@@ -61,5 +64,8 @@ func (s *Simulator) ForwardAndGradient(grad *grid.Field, maskSpec *grid.CField, 
 		s.adjointStreaming(bank, maskSpec, s.sens)
 	}
 	s.applyGradient(grad, weight)
+	d := time.Since(start)
+	mFusedNS.Observe(float64(d))
+	s.traceCorner("forward_gradient", cond, d)
 	return cost
 }

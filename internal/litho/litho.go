@@ -11,12 +11,22 @@ package litho
 
 import (
 	"fmt"
+	"time"
 
 	"lsopc/internal/engine"
 	"lsopc/internal/fft"
 	"lsopc/internal/grid"
+	"lsopc/internal/obs"
 	"lsopc/internal/optics"
 	"lsopc/internal/rt"
+)
+
+// Per-corner simulate timings in the default registry, one histogram per
+// direction of the model.
+var (
+	mForwardNS  = obs.Default.Histogram("litho.forward_ns", obs.DurationBounds)
+	mGradientNS = obs.Default.Histogram("litho.gradient_ns", obs.DurationBounds)
+	mFusedNS    = obs.Default.Histogram("litho.forward_gradient_ns", obs.DurationBounds)
 )
 
 // Condition identifies one process corner.
@@ -151,6 +161,11 @@ type Simulator struct {
 	adjointBody     func(lo, hi int)
 	ampBody         func(lo, hi int)
 	applyBody       func(lo, hi int)
+
+	// Optional trace sink for per-corner timing events. nil keeps the
+	// hot paths at a single nil check; set via SetSink.
+	sink    obs.Sink
+	traceID string
 
 	released bool
 }
@@ -305,11 +320,41 @@ func (s *Simulator) bindBodies() {
 	}
 }
 
+// SetSink attaches a trace sink to the session: Forward, GradientInto
+// and ForwardAndGradient then emit one per-corner timing event per call,
+// tagged with traceID so traces from concurrent sessions stay
+// distinguishable. Pass nil to detach (the default); the disabled path
+// costs one nil check per call and never allocates.
+func (s *Simulator) SetSink(sink obs.Sink, traceID string) {
+	s.sink = sink
+	s.traceID = traceID
+}
+
+// traceCorner reports one simulate span to the attached sink.
+func (s *Simulator) traceCorner(name string, cond Condition, d time.Duration) {
+	if s.sink != nil {
+		s.sink.Emit(obs.Event{
+			Type:   obs.EventCorner,
+			Trace:  s.traceID,
+			Name:   name,
+			Engine: s.eng.Name(),
+			Corner: cond.String(),
+			DurNS:  d.Nanoseconds(),
+		})
+	}
+}
+
 // Sibling builds a simulator session sharing this simulator's resource
 // bank but owning fresh leased scratch, scheduled on eng — the way to
-// fan process corners across Split sub-engines without data races.
+// fan process corners across Split sub-engines without data races. The
+// sibling inherits this session's trace sink and trace id.
 func (s *Simulator) Sibling(eng *engine.Engine) (*Simulator, error) {
-	return NewSession(s.res, s.cfg, eng)
+	sib, err := NewSession(s.res, s.cfg, eng)
+	if err != nil {
+		return nil, err
+	}
+	sib.SetSink(s.sink, s.traceID)
+	return sib, nil
 }
 
 // Release returns every leased scratch buffer to the bank's pool. The
@@ -521,8 +566,12 @@ func (c *CornerImages) ReleaseTo(p *rt.Pool) {
 // Forward fills out with the exact aerial image and sigmoid resist image
 // at the given corner.
 func (s *Simulator) Forward(out *CornerImages, maskSpec *grid.CField, cond Condition) {
+	start := time.Now()
 	s.Aerial(out.Aerial, maskSpec, cond)
 	s.Resist(out.R, out.Aerial)
+	d := time.Since(start)
+	mForwardNS.Observe(float64(d))
+	s.traceCorner("forward", cond, d)
 }
 
 // GradientInto accumulates the Jacobian of L = ‖R − R*‖² with respect to
@@ -536,6 +585,7 @@ func (s *Simulator) Forward(out *CornerImages, maskSpec *grid.CField, cond Condi
 // the per-kernel terms are accumulated as spectra so the final inverse
 // transform happens once.
 func (s *Simulator) GradientInto(grad *grid.Field, maskSpec *grid.CField, cond Condition, target *grid.Field, r *grid.Field, weight float64) {
+	start := time.Now()
 	bank := s.Bank(cond)
 	s.sensitivity(s.sens, r, target, s.Dose(cond))
 	if s.canRetain() {
@@ -547,6 +597,9 @@ func (s *Simulator) GradientInto(grad *grid.Field, maskSpec *grid.CField, cond C
 		s.adjointStreaming(bank, maskSpec, s.sens)
 	}
 	s.applyGradient(grad, weight)
+	d := time.Since(start)
+	mGradientNS.Observe(float64(d))
+	s.traceCorner("gradient", cond, d)
 }
 
 // sensitivity computes the resist sensitivity field

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability endpoint for long-running commands:
+//
+//	/metrics        plain-text metrics dump (sorted `name value` lines)
+//	/debug/vars     expvar JSON (the registry publishes itself here)
+//	/debug/pprof/*  the standard pprof profiles
+//
+// The handler uses its own mux, so mounting it does not disturb the
+// process default mux (importing net/http/pprof also registers on
+// http.DefaultServeMux; commands using Handler never serve that mux).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":6060" or
+// "127.0.0.1:0") in a background goroutine, publishing the registry to
+// expvar under "lsopc". It returns the server (Close to stop) and the
+// bound address, which matters when addr requested port 0.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	r.PublishExpvar("lsopc")
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

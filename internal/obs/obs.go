@@ -1,0 +1,284 @@
+// Package obs is the runtime observability layer of the repository: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) exported via expvar and a plain-text dump, a structured
+// trace-sink interface emitting typed events as JSONL, and opt-in
+// net/http/pprof + metrics HTTP endpoints for long-running commands.
+//
+// The package is stdlib-only and imports nothing else from the module,
+// so every substrate (engine, fft, rt, litho, core, pixelilt) can
+// depend on it without cycles. Instrumentation ships always-compiled-in
+// under two cost regimes:
+//
+//   - Metrics (counters/histograms) are always on. An update is one or
+//     two atomic adds with zero heap allocations, cheap enough for the
+//     session-construction and per-FFT-batch call sites that use them.
+//   - Tracing is nil-gated. Hot paths guard every event with a plain
+//     `if sink != nil` (or an atomic load of the process Runtime sink),
+//     so the disabled path performs no allocation and no time.Now call —
+//     the alloc-regression tests enforce 0 allocs/op on the warm
+//     simulate and iteration paths with no sink attached.
+//
+// Event emission passes the Event struct by value, so enabling a sink
+// costs the sink's own work (JSON marshalling for JSONLSink) but the
+// producers stay allocation-free up to the Emit call.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event types emitted by the instrumented layers. The Type field of
+// every Event holds one of these.
+const (
+	// EventIteration is one optimizer iteration: cost terms, gradient
+	// norm, step size (core and pixelilt emit these).
+	EventIteration = "iteration"
+	// EventCorner is one per-corner forward or forward+gradient
+	// simulation with its wall time (litho emits these).
+	EventCorner = "corner"
+	// EventPlanCache is an FFT plan-cache lookup (hit or miss).
+	EventPlanCache = "plan_cache"
+	// EventPool is an rt pool lease (hit = served from the free list,
+	// miss = fresh allocation) or release.
+	EventPool = "pool"
+	// EventSpan is a coarse job span: a whole optimize or evaluate call
+	// with its engine and wall time.
+	EventSpan = "span"
+	// EventProgress is a human-readable progress line (the experiments
+	// harness emits these; LineSink renders them verbatim).
+	EventProgress = "progress"
+)
+
+// Event is one structured trace record. It is a flat union of the
+// fields used by the event types above; unused fields marshal away
+// under omitempty, so each JSONL line carries only its type's payload.
+// Events are passed by value to keep producers allocation-free.
+type Event struct {
+	Type   string `json:"type"`
+	Seq    int64  `json:"seq,omitempty"`     // sink-assigned total order
+	TimeNS int64  `json:"time_ns,omitempty"` // unix nanos, sink-stamped
+	Trace  string `json:"trace,omitempty"`   // owning session/job id
+	Name   string `json:"name,omitempty"`    // span/op name or pool kind
+	Engine string `json:"engine,omitempty"`
+	Corner string `json:"corner,omitempty"`
+	Iter   int    `json:"iter,omitempty"`
+	N      int    `json:"n,omitempty"`   // plan length or pool elements
+	Hit    bool   `json:"hit,omitempty"` // cache/pool hit
+	DurNS  int64  `json:"dur_ns,omitempty"`
+
+	Cost        float64 `json:"cost,omitempty"`
+	CostNominal float64 `json:"cost_nominal,omitempty"`
+	CostPVB     float64 `json:"cost_pvb,omitempty"`
+	GradNorm    float64 `json:"grad_norm,omitempty"`
+	MaxVelocity float64 `json:"max_velocity,omitempty"`
+	TimeStep    float64 `json:"time_step,omitempty"`
+	LambdaPRP   float64 `json:"lambda_prp,omitempty"`
+
+	Msg string `json:"msg,omitempty"`
+}
+
+// String renders the event as one human-readable line (no trailing
+// newline, except progress messages which carry their own).
+func (e Event) String() string {
+	switch e.Type {
+	case EventProgress:
+		return e.Msg
+	case EventIteration:
+		return fmt.Sprintf("%s %s iter=%d cost=%.6g nominal=%.6g pvb=%.6g |g|=%.4g max|v|=%.4g dt=%.4g lambda=%.3f",
+			e.Type, e.Trace, e.Iter, e.Cost, e.CostNominal, e.CostPVB, e.GradNorm, e.MaxVelocity, e.TimeStep, e.LambdaPRP)
+	case EventCorner:
+		return fmt.Sprintf("%s %s %s/%s %.3fms cost=%.6g",
+			e.Type, e.Trace, e.Name, e.Corner, float64(e.DurNS)/1e6, e.Cost)
+	case EventPlanCache, EventPool:
+		return fmt.Sprintf("%s %s n=%d hit=%v", e.Type, e.Name, e.N, e.Hit)
+	case EventSpan:
+		return fmt.Sprintf("%s %s %s engine=%s %.3fms", e.Type, e.Trace, e.Name, e.Engine, float64(e.DurNS)/1e6)
+	default:
+		return fmt.Sprintf("%s %s %s", e.Type, e.Trace, e.Msg)
+	}
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent use: sessions running on separate goroutines share one
+// sink, and the sink is the serialization point. Emit must not retain
+// references into the event beyond the call (Event is self-contained
+// value data, so copying it is enough).
+//
+// Sinks that buffer should also implement Flusher; Flush is invoked by
+// Pipeline.Release and the command-line drivers before exit.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Flusher is the optional flush half of the sink contract.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush flushes s if it implements Flusher; nil and non-buffering sinks
+// are no-ops.
+func Flush(s Sink) error {
+	if f, ok := s.(Flusher); ok && f != nil {
+		return f.Flush()
+	}
+	return nil
+}
+
+// runtimeSink is the process-level sink for events that originate below
+// any session handle: FFT plan-cache lookups and pool leases happen
+// inside shared caches with no session in scope, so they report here.
+// Stored behind an atomic pointer: the disabled path is one atomic load
+// and a nil check.
+type sinkHolder struct{ s Sink }
+
+var runtimeSink atomic.Pointer[sinkHolder]
+
+// SetRuntime installs (or, with nil, removes) the process-level trace
+// sink that receives plan-cache and pool events. Commands set it to the
+// same sink as their pipeline so one JSONL stream carries the full
+// picture.
+func SetRuntime(s Sink) {
+	if s == nil {
+		runtimeSink.Store(nil)
+		return
+	}
+	runtimeSink.Store(&sinkHolder{s: s})
+}
+
+// Runtime returns the process-level sink, or nil when tracing is off.
+func Runtime() Sink {
+	if h := runtimeSink.Load(); h != nil {
+		return h.s
+	}
+	return nil
+}
+
+// JSONLSink writes each event as one JSON object per line. A mutex
+// serializes emissions, assigns a strictly increasing sequence number,
+// and stamps wall time, so concurrent producers cannot interleave
+// partial lines and the file is a total order of what happened. Writes
+// are buffered; call Flush (Pipeline.Release does) before reading the
+// underlying writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	seq int64
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSONL to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	e.Seq = s.seq
+	if e.TimeNS == 0 {
+		e.TimeNS = time.Now().UnixNano()
+	}
+	b, err := json.Marshal(&e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.bw.Write(append(b, '\n')); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Flush writes buffered lines through and reports the first error seen.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// CollectorSink retains every event in memory, for tests.
+type CollectorSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *CollectorSink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *CollectorSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Len returns the number of events emitted so far.
+func (s *CollectorSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// TeeSink fans every event out to several sinks in order. nil entries
+// are skipped; Flush flushes every buffering member and reports the
+// first error.
+type TeeSink []Sink
+
+// Emit implements Sink.
+func (t TeeSink) Emit(e Event) {
+	for _, s := range t {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}
+
+// Flush implements Flusher.
+func (t TeeSink) Flush() error {
+	var first error
+	for _, s := range t {
+		if err := Flush(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LineSink adapts a legacy io.Writer progress stream to the Sink
+// interface: each event renders as one human-readable line. Progress
+// events pass their message through verbatim, which keeps the output of
+// the pre-sink `Progress io.Writer` plumbing byte-identical.
+type LineSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLineSink wraps w.
+func NewLineSink(w io.Writer) *LineSink { return &LineSink{w: w} }
+
+// Emit implements Sink.
+func (s *LineSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Type == EventProgress {
+		io.WriteString(s.w, e.Msg)
+		return
+	}
+	fmt.Fprintln(s.w, e.String())
+}

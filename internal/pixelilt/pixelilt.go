@@ -24,10 +24,12 @@ package pixelilt
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"lsopc/internal/grid"
 	"lsopc/internal/litho"
 	"lsopc/internal/metrics"
+	"lsopc/internal/obs"
 )
 
 // Variant selects the baseline algorithm.
@@ -79,6 +81,11 @@ type Options struct {
 	// pixels from the final binary mask (0 disables). Pixel-based ILT
 	// is the method family that needs it (paper §I).
 	CleanupTinyPx int
+	// Sink receives one structured iteration event per baseline step.
+	// nil disables tracing.
+	Sink obs.Sink
+	// TraceID tags this run's events in a shared sink.
+	TraceID string
 }
 
 // DefaultOptions returns the published schedule shape for the variant.
@@ -207,8 +214,12 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 	}
 	a := opts.MaskSteepness
 
+	if opts.Sink != nil {
+		sim.SetSink(opts.Sink, opts.TraceID)
+	}
 	res := &Result{}
 	for i := 0; i < opts.MaxIter; i++ {
+		iterStart := time.Now()
 		// M = σ(a·θ).
 		for j, v := range theta.Data {
 			mask.Data[j] = 1 / (1 + math.Exp(-a*v))
@@ -223,6 +234,18 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 		}
 		res.History = append(res.History, IterStats{Iter: i, Cost: cost, CornerSim: len(corners)})
 		res.CornerSims += len(corners)
+		if opts.Sink != nil {
+			opts.Sink.Emit(obs.Event{
+				Type:   obs.EventIteration,
+				Trace:  opts.TraceID,
+				Name:   opts.Variant.String(),
+				Engine: sim.Engine().Name(),
+				Iter:   i,
+				N:      len(corners),
+				Cost:   cost,
+				DurNS:  time.Since(iterStart).Nanoseconds(),
+			})
+		}
 
 		// dL/dθ = dL/dM ⊙ a·M(1−M); normalised step keeps the update
 		// scale-free across benchmarks.

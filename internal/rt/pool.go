@@ -18,7 +18,33 @@ import (
 	"sync/atomic"
 
 	"lsopc/internal/grid"
+	"lsopc/internal/obs"
 )
+
+// Process-wide pool metrics, aggregated across all pools in the default
+// registry (per-pool numbers stay available through Pool.Stats). The
+// pointers are resolved once so a lease costs two extra atomic adds.
+var (
+	mLeases   = obs.Default.Counter("rt.pool.leases")
+	mReuses   = obs.Default.Counter("rt.pool.reuses")
+	mMisses   = obs.Default.Counter("rt.pool.misses")
+	mReleases = obs.Default.Counter("rt.pool.releases")
+)
+
+// traceLease reports one lease to the runtime trace sink when tracing
+// is enabled (an atomic load and nil check otherwise).
+func traceLease(kind string, elems int, hit bool) {
+	if s := obs.Runtime(); s != nil {
+		s.Emit(obs.Event{Type: obs.EventPool, Name: kind, N: elems, Hit: hit})
+	}
+}
+
+// traceRelease reports one release to the runtime trace sink.
+func traceRelease(kind string, elems int) {
+	if s := obs.Runtime(); s != nil {
+		s.Emit(obs.Event{Type: obs.EventPool, Name: kind + ".release", N: elems})
+	}
+}
 
 // Pool is an area-keyed free list of Field/CField storage. Lease with
 // Field/CField, return with PutField/PutCField. Leased fields are always
@@ -66,13 +92,18 @@ func (p *Pool) cfieldList(n int) *sync.Pool {
 // Field leases a zeroed w×h field.
 func (p *Pool) Field(w, h int) *grid.Field {
 	atomic.AddInt64(&p.leases, 1)
+	mLeases.Inc()
 	if v := p.fieldList(w * h).Get(); v != nil {
 		atomic.AddInt64(&p.reuses, 1)
+		mReuses.Inc()
+		traceLease("field", w*h, true)
 		f := v.(*grid.Field)
 		f.Reshape(w, h)
 		f.Zero()
 		return f
 	}
+	mMisses.Inc()
+	traceLease("field", w*h, false)
 	return grid.NewField(w, h)
 }
 
@@ -82,19 +113,26 @@ func (p *Pool) PutField(f *grid.Field) {
 	if f == nil {
 		return
 	}
+	mReleases.Inc()
+	traceRelease("field", len(f.Data))
 	p.fieldList(len(f.Data)).Put(f)
 }
 
 // CField leases a zeroed w×h complex field.
 func (p *Pool) CField(w, h int) *grid.CField {
 	atomic.AddInt64(&p.leases, 1)
+	mLeases.Inc()
 	if v := p.cfieldList(w * h).Get(); v != nil {
 		atomic.AddInt64(&p.reuses, 1)
+		mReuses.Inc()
+		traceLease("cfield", w*h, true)
 		c := v.(*grid.CField)
 		c.Reshape(w, h)
 		c.Zero()
 		return c
 	}
+	mMisses.Inc()
+	traceLease("cfield", w*h, false)
 	return grid.NewCField(w, h)
 }
 
@@ -104,6 +142,8 @@ func (p *Pool) PutCField(c *grid.CField) {
 	if c == nil {
 		return
 	}
+	mReleases.Inc()
+	traceRelease("cfield", len(c.Data))
 	p.cfieldList(len(c.Data)).Put(c)
 }
 

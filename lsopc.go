@@ -15,7 +15,10 @@ package lsopc
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lsopc/internal/core"
@@ -25,6 +28,7 @@ import (
 	"lsopc/internal/layouts"
 	"lsopc/internal/litho"
 	"lsopc/internal/metrics"
+	"lsopc/internal/obs"
 	"lsopc/internal/pixelilt"
 	"lsopc/internal/procwin"
 	"lsopc/internal/rt"
@@ -48,7 +52,65 @@ type (
 	Engine = engine.Engine
 	// BenchmarkSpec describes one ICCAD-2013-style benchmark.
 	BenchmarkSpec = layouts.Spec
+	// TraceSink receives structured trace events (see internal/obs).
+	TraceSink = obs.Sink
+	// TraceEvent is one structured trace event.
+	TraceEvent = obs.Event
+	// MetricsRegistry is a named set of counters/gauges/histograms.
+	MetricsRegistry = obs.Registry
 )
+
+// Trace event types emitted through a TraceSink.
+const (
+	EventIteration = obs.EventIteration // one optimizer step
+	EventCorner    = obs.EventCorner    // one per-corner simulate span
+	EventPlanCache = obs.EventPlanCache // one FFT plan-cache lookup
+	EventPool      = obs.EventPool      // one field-pool lease/release
+	EventSpan      = obs.EventSpan      // one pipeline job span
+	EventProgress  = obs.EventProgress  // free-form progress line
+)
+
+// NewJSONLTraceSink returns a sink writing one JSON object per event to
+// w, safe for concurrent sessions (events get a total-order sequence
+// number under one lock). Flush it when the run ends — Pipeline.Release
+// does so for the pipeline's attached sink.
+func NewJSONLTraceSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewLineTraceSink returns a sink rendering events as human-readable
+// lines on w (progress events pass through verbatim).
+func NewLineTraceSink(w io.Writer) *obs.LineSink { return obs.NewLineSink(w) }
+
+// NewCollectorTraceSink returns an in-memory sink for tests.
+func NewCollectorTraceSink() *obs.CollectorSink { return &obs.CollectorSink{} }
+
+// TeeTraceSink fans events out to all the given sinks (nils skipped).
+func TeeTraceSink(sinks ...TraceSink) TraceSink { return obs.TeeSink(sinks) }
+
+// Metrics returns the process-wide default metrics registry that every
+// subsystem (FFT plan cache, field pools, optimizer loop, simulator
+// corners) records into unconditionally.
+func Metrics() *MetricsRegistry { return obs.Default }
+
+// MetricsSnapshot returns a flat name→value copy of the default
+// registry (histograms expand to .count/.sum/.le* keys).
+func MetricsSnapshot() map[string]float64 { return obs.Default.Snapshot() }
+
+// ServeMetrics starts the observability HTTP endpoint on addr
+// (/metrics, /debug/vars, /debug/pprof/*) over the default registry and
+// returns the server and its bound address. See DESIGN.md §9.
+func ServeMetrics(addr string) (*http.Server, string, error) {
+	return obs.Serve(addr, obs.Default)
+}
+
+// SetRuntimeTrace installs a process-wide sink for events that have no
+// session in scope (plan-cache lookups, pool leases inside bank and
+// session construction). Install it before building pipelines to catch
+// construction-time events; pass nil to disable. The sink must be safe
+// for concurrent use.
+func SetRuntimeTrace(s TraceSink) { obs.SetRuntime(s) }
+
+// FlushTrace flushes a sink if it buffers (nil-safe).
+func FlushTrace(s TraceSink) error { return obs.Flush(s) }
 
 // Baseline variants, re-exported.
 const (
@@ -145,16 +207,34 @@ type Pipeline struct {
 	res     *rt.Bank
 	metrics metrics.Config
 
+	// Observability: an optional trace sink shared by every session the
+	// pipeline leases, and a counter assigning each session a stable
+	// trace id ("s1", "s2", …) so events from concurrent jobs through
+	// the shared sink stay distinguishable.
+	sink     obs.Sink
+	traceSeq atomic.Int64
+
 	mu   sync.Mutex
 	free []*Session // idle sessions on p.eng, reused by Session()
 	root *Session   // lazy never-closed session backing Simulator()
+}
+
+// PipelineOption configures optional pipeline behaviour.
+type PipelineOption func(*Pipeline)
+
+// WithTraceSink attaches a trace sink to the pipeline: every session it
+// leases emits iteration, per-corner timing and job-span events tagged
+// with a per-session trace id. The sink must be safe for concurrent use
+// (JSONL and line sinks are). Pipeline.Release flushes it.
+func WithTraceSink(s TraceSink) PipelineOption {
+	return func(p *Pipeline) { p.sink = s }
 }
 
 // NewPipeline builds a pipeline at the given preset on the given engine
 // (nil defaults to the serial CPU engine). Construction is cheap after
 // the first pipeline at a preset: the kernel banks, FFT plans and other
 // derived resources are shared process-wide.
-func NewPipeline(p Preset, eng *Engine) (*Pipeline, error) {
+func NewPipeline(p Preset, eng *Engine, opts ...PipelineOption) (*Pipeline, error) {
 	gridSize, pixelNM, kernels, err := p.params()
 	if err != nil {
 		return nil, err
@@ -168,14 +248,21 @@ func NewPipeline(p Preset, eng *Engine) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	pipe := &Pipeline{
 		preset:  p,
 		eng:     eng,
 		cfg:     cfg,
 		res:     res,
 		metrics: metrics.DefaultConfig(pixelNM),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(pipe)
+	}
+	return pipe, nil
 }
+
+// TraceSink returns the sink attached with WithTraceSink, or nil.
+func (p *Pipeline) TraceSink() TraceSink { return p.sink }
 
 // Preset returns the pipeline's preset.
 func (p *Pipeline) Preset() Preset { return p.preset }
@@ -251,6 +338,7 @@ type Session struct {
 	p       *Pipeline
 	eng     *engine.Engine
 	sim     *litho.Simulator
+	trace   string // per-session trace id ("s1", "s2", …) when tracing
 	spec    *grid.CField
 	printed *grid.Field
 	outer   *grid.Field
@@ -266,7 +354,7 @@ func newSession(p *Pipeline, eng *engine.Engine) (*Session, error) {
 	}
 	n := p.GridSize()
 	pool := p.res.Pool()
-	return &Session{
+	s := &Session{
 		p:       p,
 		eng:     eng,
 		sim:     sim,
@@ -274,7 +362,29 @@ func newSession(p *Pipeline, eng *engine.Engine) (*Session, error) {
 		printed: pool.Field(n, n),
 		outer:   pool.Field(n, n),
 		inner:   pool.Field(n, n),
-	}, nil
+	}
+	if p.sink != nil {
+		s.trace = fmt.Sprintf("s%d", p.traceSeq.Add(1))
+		sim.SetSink(p.sink, s.trace)
+	}
+	return s, nil
+}
+
+// TraceID returns the session's trace id ("" when the pipeline has no
+// sink attached).
+func (s *Session) TraceID() string { return s.trace }
+
+// traceSpan emits one job-span event to the pipeline's sink.
+func (s *Session) traceSpan(name string, start time.Time) {
+	if s.p.sink != nil {
+		s.p.sink.Emit(obs.Event{
+			Type:   obs.EventSpan,
+			Trace:  s.trace,
+			Name:   name,
+			Engine: s.eng.Name(),
+			DurNS:  time.Since(start).Nanoseconds(),
+		})
+	}
 }
 
 // Session leases a session on the pipeline's engine, reusing an idle
@@ -353,8 +463,11 @@ func (s *Session) release() {
 }
 
 // Release drains the pipeline's idle sessions (including the Simulator()
-// session), returning their scratch to the shared pool. The pipeline
-// remains usable; the bank itself is shared and unaffected.
+// session), returning their scratch to the shared pool, and flushes the
+// attached trace sink so buffered events reach their writer. The
+// pipeline remains usable; the bank itself is shared and unaffected.
+// Release is idempotent: a second call with nothing left to drain is a
+// no-op (beyond a harmless re-flush of the empty sink buffer).
 func (p *Pipeline) Release() {
 	p.mu.Lock()
 	free := p.free
@@ -368,6 +481,7 @@ func (p *Pipeline) Release() {
 		root.closed = true
 		root.release()
 	}
+	obs.Flush(p.sink)
 }
 
 // Engine returns the engine the session schedules on.
@@ -401,11 +515,17 @@ func (p *Pipeline) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult
 	return s.OptimizeLevelSet(l, opts)
 }
 
-// OptimizeLevelSet runs the paper's optimizer on this session.
+// OptimizeLevelSet runs the paper's optimizer on this session. When the
+// pipeline carries a trace sink and opts.Sink is nil, the run inherits
+// the pipeline's sink under this session's trace id.
 func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult, error) {
 	target, err := s.p.targetShared(l)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Sink == nil && s.p.sink != nil {
+		opts.Sink = s.p.sink
+		opts.TraceID = s.trace
 	}
 	opt, err := core.New(s.sim, target, opts)
 	if err != nil {
@@ -418,6 +538,7 @@ func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult,
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	s.traceSpan("optimize.levelset", start)
 	report, err := s.Evaluate(l, res.Mask, elapsed)
 	if err != nil {
 		return nil, err
@@ -443,10 +564,16 @@ func (p *Pipeline) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResul
 }
 
 // OptimizeBaseline runs a pixel-based comparison method on this session.
+// When the pipeline carries a trace sink and opts.Sink is nil, the run
+// inherits the pipeline's sink under this session's trace id.
 func (s *Session) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult, error) {
 	target, err := s.p.targetShared(l)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Sink == nil && s.p.sink != nil {
+		opts.Sink = s.p.sink
+		opts.TraceID = s.trace
 	}
 	start := time.Now()
 	res, err := pixelilt.Optimize(s.sim, target, opts)
@@ -454,6 +581,7 @@ func (s *Session) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	s.traceSpan("optimize."+opts.Variant.String(), start)
 	report, err := s.Evaluate(l, res.Mask, elapsed)
 	if err != nil {
 		return nil, err
@@ -490,6 +618,8 @@ func (s *Session) Evaluate(l *Layout, mask *Field, elapsed time.Duration) (Repor
 	if err != nil {
 		return Report{}, err
 	}
+	evalStart := time.Now()
+	defer s.traceSpan("evaluate", evalStart)
 	s.sim.MaskSpectrumInto(s.spec, mask)
 	s.sim.PrintedBinary(s.printed, s.spec, litho.Nominal)
 	s.sim.PrintedBinary(s.outer, s.spec, litho.Outer)

@@ -1,0 +1,233 @@
+package lsopc
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"lsopc/internal/core"
+	"lsopc/internal/litho"
+	"lsopc/internal/obs"
+)
+
+// TestConcurrentSessionTraceIntegrity is the observability acceptance
+// gate for the session runtime: several sessions optimizing concurrently
+// through ONE shared JSONL sink must produce a stream where every line
+// is valid JSON, the sink-assigned sequence numbers are strictly
+// increasing (no lost or interleaved writes), every session's iteration
+// events arrive in order 0..n-1 under its own trace id, and — because
+// results are scheduling-independent — the per-iteration cost sequences
+// are identical across sessions running the same layout. Run under
+// `go test -race .` this is also the data-race gate for the trace path.
+func TestConcurrentSessionTraceIntegrity(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLTraceSink(&buf)
+	// The runtime sink carries the session-less pool/plan-cache events;
+	// pointing it at the same JSONL stream mirrors the CLI's -tracefile
+	// wiring and exercises the shared-mutex serialization under -race.
+	SetRuntimeTrace(sink)
+	defer SetRuntimeTrace(nil)
+	p, err := NewPipeline(PresetTest, GPUEngine(), WithTraceSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+
+	const jobs = 4
+	sessions, err := p.Sessions(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := Benchmark("B1")
+	opts := DefaultLevelSetOptions()
+	opts.MaxIter = 5
+	opts.Tolerance = 0 // fixed iteration count so all traces are comparable
+
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = sessions[i].OptimizeLevelSet(layout, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	if err := FlushTrace(sink); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		lastSeq int64
+		iters   = map[string][]TraceEvent{}
+		kinds   = map[string]int{}
+	)
+	for n, line := range bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n")) {
+		var e TraceEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", n+1, err, line)
+		}
+		if e.Type == "" {
+			t.Fatalf("line %d: event without type: %s", n+1, line)
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("line %d: seq %d not strictly increasing after %d", n+1, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		kinds[e.Type]++
+		if e.Type == EventIteration {
+			iters[e.Trace] = append(iters[e.Trace], e)
+		}
+	}
+	for _, kind := range []string{EventIteration, EventCorner, EventSpan, EventPool} {
+		if kinds[kind] == 0 {
+			t.Errorf("no %q events in trace (got %v)", kind, kinds)
+		}
+	}
+	if len(iters) != jobs {
+		t.Fatalf("expected iteration events under %d trace ids, got %d: %v", jobs, len(iters), kinds)
+	}
+	var ref []TraceEvent
+	for trace, seq := range iters {
+		if len(seq) != opts.MaxIter {
+			t.Fatalf("trace %s: %d iteration events, want %d", trace, len(seq), opts.MaxIter)
+		}
+		for i, e := range seq {
+			if e.Iter != i {
+				t.Fatalf("trace %s: iteration %d arrived out of order (Iter=%d)", trace, i, e.Iter)
+			}
+		}
+		if ref == nil {
+			ref = seq
+			continue
+		}
+		// Same layout, same options, shared bank: sessions must be
+		// bit-identical regardless of scheduling.
+		for i := range seq {
+			if seq[i].Cost != ref[i].Cost || seq[i].GradNorm != ref[i].GradNorm {
+				t.Errorf("trace %s iter %d diverges: cost=%g gradnorm=%g want cost=%g gradnorm=%g",
+					trace, i, seq[i].Cost, seq[i].GradNorm, ref[i].Cost, ref[i].GradNorm)
+			}
+		}
+	}
+}
+
+// TestTraceEventKinds drives one optimization with both the runtime sink
+// (plan-cache and pool events from bank construction) and a per-run sink
+// installed, and asserts every event family of the taxonomy shows up.
+// The simulator uses a grid size no other test in this binary touches,
+// so the process-wide FFT plan cache genuinely misses.
+func TestTraceEventKinds(t *testing.T) {
+	c := NewCollectorTraceSink()
+	SetRuntimeTrace(c)
+	defer SetRuntimeTrace(nil)
+
+	cfg := litho.DefaultConfig(32, 48)
+	cfg.Optics.Kernels = 2
+	sim, err := litho.NewSimulator(cfg, CPUEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Release()
+	sim.SetSink(c, "t1")
+
+	target := NewField(32, 32)
+	for y := 12; y < 20; y++ {
+		for x := 6; x < 26; x++ {
+			target.Set(x, y, 1)
+		}
+	}
+	opts := core.DefaultOptions()
+	opts.MaxIter = 2
+	opts.Sink = c
+	opts.TraceID = "t1"
+	opt, err := core.New(sim, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opt.Release()
+	if _, err := opt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]int{}
+	sawPlanMiss := false
+	for _, e := range c.Events() {
+		kinds[e.Type]++
+		if e.Type == EventPlanCache && !e.Hit {
+			sawPlanMiss = true
+		}
+	}
+	for _, kind := range []string{EventIteration, EventCorner, EventPlanCache, EventPool} {
+		if kinds[kind] == 0 {
+			t.Errorf("no %q events collected (got %v)", kind, kinds)
+		}
+	}
+	if !sawPlanMiss {
+		t.Errorf("expected at least one plan-cache miss for the fresh grid size (got %v)", kinds)
+	}
+	for _, e := range c.Events() {
+		if e.Type == EventIteration && e.Trace != "t1" {
+			t.Errorf("iteration event carries trace %q, want %q", e.Trace, "t1")
+		}
+	}
+}
+
+// TestDisabledSinkDoesNotAllocate pins the "observability off" contract
+// at the obs layer: emitting through a nil sink guard plus the atomic
+// metric updates must stay allocation-free (the optimizer's own warm
+// zero-alloc gate lives in internal/core's alloc test).
+func TestDisabledSinkDoesNotAllocate(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("trace_test.disabled")
+	h := reg.Histogram("trace_test.disabled_ns", obs.DurationBounds)
+	var sink obs.Sink
+	n := testing.AllocsPerRun(200, func() {
+		ctr.Inc()
+		h.Observe(123456)
+		if sink != nil {
+			sink.Emit(obs.Event{Type: EventIteration})
+		}
+	})
+	if n != 0 {
+		t.Fatalf("disabled-path metric+trace op allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestPipelineReleaseFlushesSinkOnce verifies Release drains the attached
+// sink and that a double Release is a safe no-op.
+func TestPipelineReleaseFlushesSinkOnce(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLTraceSink(&buf)
+	p, err := NewPipeline(PresetTest, CPUEngine(), WithTraceSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := Benchmark("B1")
+	mask, err := p.Target(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(layout, mask, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	p.Release()
+	if buf.Len() == 0 {
+		t.Fatal("Release did not flush the attached sink")
+	}
+	p.Release() // must not panic or double-free
+}

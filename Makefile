@@ -6,12 +6,15 @@
 #   make vet     - static analysis
 #   make bench   - the headline benchmarks behind the Table II claims
 #   make trace   - instrumented run + JSONL trace validation (tracecheck)
+#               + trace analytics report (tracestats)
 #   make benchjson - regenerate the "after" entry of BENCH_batchfft.json
+#   make benchgate - benchdiff smoke gate: identical inputs pass, a
+#               synthetically inflated copy must fail
 #   make check   - build + vet + test + race, the pre-commit bundle
 
 GO ?= go
 
-.PHONY: all build test race vet bench benchjson benchsessions trace check
+.PHONY: all build test race vet bench benchjson benchsessions trace benchgate check
 
 all: check
 
@@ -27,13 +30,29 @@ test:
 # the observability layer (shared sinks, atomic metrics), and the root
 # package's concurrent-pipeline equivalence and trace-integrity tests.
 race:
-	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/rt ./internal/obs .
+	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/pixelilt ./internal/rt ./internal/obs .
 
 # One instrumented benchmark run; fails if the emitted JSONL trace is
-# malformed or missing any event family of the taxonomy (DESIGN.md §9).
+# malformed or missing any event family of the taxonomy (DESIGN.md §9),
+# then prints the tracestats analytics report over the same trace.
 trace:
-	$(GO) run ./cmd/lsopc -preset test -case B1 -iters 3 -tracefile /tmp/lsopc-trace.jsonl
+	$(GO) run ./cmd/lsopc -preset test -case B1 -iters 3 -health -tracefile /tmp/lsopc-trace.jsonl
 	$(GO) run ./cmd/tracecheck -require iteration,corner,plan_cache,pool,span /tmp/lsopc-trace.jsonl
+	$(GO) run ./cmd/tracestats /tmp/lsopc-trace.jsonl
+
+# Perf-regression smoke gate: two quick benchmark passes into one
+# artefact, benchdiff must pass the file against itself and must FAIL
+# against a copy with 25% inflated metrics (proving the gate trips).
+benchgate:
+	$(GO) run ./cmd/benchjson -bench BatchFFT -label r1 -o /tmp/lsopc-benchgate.json
+	$(GO) run ./cmd/benchjson -bench BatchFFT -label r2 -o /tmp/lsopc-benchgate.json
+	$(GO) run ./cmd/benchdiff /tmp/lsopc-benchgate.json /tmp/lsopc-benchgate.json
+	$(GO) run ./cmd/benchdiff -inflate 1.25 -o /tmp/lsopc-benchgate-slow.json /tmp/lsopc-benchgate.json
+	@if $(GO) run ./cmd/benchdiff -q /tmp/lsopc-benchgate.json /tmp/lsopc-benchgate-slow.json; then \
+		echo "benchgate: inflated copy was NOT flagged as a regression"; exit 1; \
+	else \
+		echo "benchgate: regression correctly detected on the inflated copy"; \
+	fi
 
 vet:
 	$(GO) vet ./...

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lsopc"
+	"lsopc/internal/benchfmt"
 	"lsopc/internal/engine"
 	"lsopc/internal/experiments"
 	"lsopc/internal/fft"
@@ -29,31 +30,9 @@ import (
 	"lsopc/internal/litho"
 )
 
-// Measurement is one benchmark result in go-test units.
-type Measurement struct {
-	NsPerOp     int64  `json:"ns_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	Iterations  int    `json:"iterations"`
-	Note        string `json:"note,omitempty"`
-}
-
-// Run is one labelled benchmark sweep.
-type Run struct {
-	Timestamp  string                 `json:"timestamp"`
-	GoMaxProcs int                    `json:"gomaxprocs"`
-	NumCPU     int                    `json:"numcpu"`
-	Note       string                 `json:"note,omitempty"`
-	Benchmarks map[string]Measurement `json:"benchmarks"`
-}
-
-// File is the on-disk artefact: metadata plus labelled runs.
-type File struct {
-	Description string         `json:"description"`
-	GOOS        string         `json:"goos"`
-	GOARCH      string         `json:"goarch"`
-	Runs        map[string]Run `json:"runs"`
-}
+// The artefact schema (File/Run/Measurement) lives in internal/benchfmt,
+// shared with cmd/benchdiff so the regression gate reads exactly what
+// this command writes.
 
 func main() {
 	out := flag.String("o", "", "output JSON file (merged in place)")
@@ -80,12 +59,12 @@ func main() {
 	}
 
 	benches := benchmarks()
-	run := Run{
+	run := benchfmt.Run{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Note:       *note,
-		Benchmarks: map[string]Measurement{},
+		Benchmarks: map[string]benchfmt.Measurement{},
 	}
 	for _, b := range benches {
 		if *filter != "" && !strings.Contains(b.name, *filter) {
@@ -93,7 +72,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "running %-28s ", b.name)
 		r := testing.Benchmark(b.fn)
-		m := Measurement{
+		m := benchfmt.Measurement{
 			NsPerOp:     r.NsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -104,11 +83,11 @@ func main() {
 			m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.Iterations)
 	}
 
-	file := File{
+	file := benchfmt.File{
 		Description: "Benchmarks for the batched kernel-parallel FFT execution and concurrent process-corner simulation. Labels: seed = before the change, after = with batched/banded FFT paths.",
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
-		Runs:        map[string]Run{},
+		Runs:        map[string]benchfmt.Run{},
 	}
 	if data, err := os.ReadFile(*out); err == nil {
 		if err := json.Unmarshal(data, &file); err != nil {
@@ -117,16 +96,11 @@ func main() {
 		}
 	}
 	if file.Runs == nil {
-		file.Runs = map[string]Run{}
+		file.Runs = map[string]benchfmt.Run{}
 	}
 	file.Runs[*label] = run
 
-	data, err := json.MarshalIndent(&file, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := file.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -34,16 +34,17 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the per-iteration cost trace (level-set only)")
 		tracePath = flag.String("tracefile", "", "write a structured JSONL event trace (iterations, corner timings, plan-cache and pool events) to this file")
 		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. 127.0.0.1:6060)")
+		health    = flag.Bool("health", false, "run the numerical-health watchdog (NaN/Inf, stall, divergence detection; aborts the run on an unhealthy iteration)")
 	)
 	flag.Parse()
 
-	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics); err != nil {
+	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics, *health); err != nil {
 		fmt.Fprintln(os.Stderr, "lsopc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string) error {
+func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string, health bool) error {
 	preset, err := lsopc.ParsePreset(presetStr)
 	if err != nil {
 		return err
@@ -80,6 +81,9 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 			f.Close()
 			fmt.Fprintf(os.Stderr, "event trace written to %s\n", tracePath)
 		}()
+	}
+	if health {
+		popts = append(popts, lsopc.WithHealthPolicy(lsopc.DefaultHealthPolicy()))
 	}
 	pipe, err := lsopc.NewPipeline(preset, eng, popts...)
 	if err != nil {
@@ -122,6 +126,14 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 	}
 
 	fmt.Printf("method %s finished in %v\n", result.Method, result.Elapsed.Round(1e6))
+	switch {
+	case result.LevelSet != nil && result.LevelSet.Aborted:
+		fmt.Printf("health watchdog ABORTED the run at iteration %d: %s\n",
+			result.LevelSet.Iterations, result.LevelSet.AbortReason)
+	case result.Baseline != nil && result.Baseline.Aborted:
+		fmt.Printf("health watchdog ABORTED the run at iteration %d: %s\n",
+			result.Baseline.Iterations, result.Baseline.AbortReason)
+	}
 	fmt.Println(result.Report)
 
 	if trace && result.LevelSet != nil {

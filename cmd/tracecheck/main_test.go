@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckCountsPerType(t *testing.T) {
+	trace := strings.Join([]string{
+		`{"type":"iteration","seq":1,"iter":0,"cost":1}`,
+		`{"type":"iteration","seq":2,"iter":1,"cost":0.5}`,
+		`{"type":"corner","seq":3,"name":"forward","corner":"nominal"}`,
+		`{"type":"plan_cache","seq":4,"name":"plan1d","hit":true}`,
+	}, "\n") + "\n"
+	counts, err := check(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"iteration": 2, "corner": 1, "plan_cache": 1}
+	for typ, n := range want {
+		if counts[typ] != n {
+			t.Fatalf("counts[%s] = %d, want %d (all: %v)", typ, counts[typ], n, counts)
+		}
+	}
+}
+
+func TestCheckRejectsEmptyTrace(t *testing.T) {
+	if _, err := check(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestCheckRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"invalid JSON":   "{not json}\n",
+		"missing type":   `{"seq":1,"iter":0}` + "\n",
+		"non-increasing": `{"type":"span","seq":5}` + "\n" + `{"type":"span","seq":5}` + "\n",
+		"decreasing seq": `{"type":"span","seq":5}` + "\n" + `{"type":"span","seq":2}` + "\n",
+		"empty mid-line": `{"type":"span","seq":1}` + "\n\n" + `{"type":"span","seq":2}` + "\n",
+	}
+	for name, trace := range cases {
+		if _, err := check(strings.NewReader(trace)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Command tracestats turns the structured JSONL event traces written by
+// the -tracefile flag of cmd/lsopc and cmd/benchjson into human-readable
+// analytics: event inventory, plan-cache and pool hit rates, a per-phase
+// latency table with exact p50/p95/p99 over the raw span durations, and
+// per-session convergence summaries (slope of ln(cost), stalls,
+// non-finite costs, divergence, watchdog health events).
+//
+// Usage:
+//
+//	tracestats run.jsonl
+//	tracestats run1.jsonl run2.jsonl           # independent reports
+//	tracestats -diff before.jsonl after.jsonl  # run-vs-run comparison
+//	tracestats -json run.jsonl                 # machine-readable
+//	lsopc -case B1 -tracefile /dev/stdout ... | tracestats -
+//
+// Exit status: 0 on success, 1 on a parse failure (empty trace, invalid
+// JSON, type-less events), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"lsopc/internal/obs/analyze"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit the parsed run(s) / diff as JSON")
+		diff     = flag.Bool("diff", false, "compare exactly two traces (A then B)")
+		topN     = flag.Int("top", 0, "show only the top N phases by total time (0 = all)")
+		stallWin = flag.Int("stall-window", 0, "stall-detection trailing window (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 || (*diff && flag.NArg() != 2) {
+		fmt.Fprintln(os.Stderr, "usage: tracestats [-json] [-top N] <trace.jsonl | -> ...")
+		fmt.Fprintln(os.Stderr, "       tracestats -diff [-json] before.jsonl after.jsonl")
+		os.Exit(2)
+	}
+
+	runs := make([]*analyze.Run, flag.NArg())
+	for i, path := range flag.Args() {
+		run, err := parse(path, *stallWin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestats:", err)
+			os.Exit(1)
+		}
+		runs[i] = run
+	}
+
+	if *diff {
+		d := analyze.Diff(runs[0], runs[1])
+		if *jsonOut {
+			emitJSON(d)
+			return
+		}
+		printDiff(d)
+		return
+	}
+	if *jsonOut {
+		if len(runs) == 1 {
+			emitJSON(runs[0])
+		} else {
+			emitJSON(runs)
+		}
+		return
+	}
+	for i, run := range runs {
+		if i > 0 {
+			fmt.Println()
+		}
+		printRun(run, *topN)
+	}
+}
+
+// parse reads one trace (path or "-" for stdin) with optional threshold
+// overrides.
+func parse(path string, stallWin int) (*analyze.Run, error) {
+	th := analyze.DefaultThresholds()
+	if stallWin > 0 {
+		th.StallWindow = stallWin
+	}
+	if path == "-" {
+		run, err := analyze.Parse(os.Stdin, th)
+		if err != nil {
+			return nil, fmt.Errorf("stdin: %w", err)
+		}
+		run.Label = "stdin"
+		return run, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	run, err := analyze.Parse(f, th)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	run.Label = path
+	return run, nil
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestats:", err)
+		os.Exit(1)
+	}
+}
+
+func printRun(r *analyze.Run, topN int) {
+	fmt.Printf("=== %s ===\n", r.Label)
+	fmt.Printf("events: %d  wall: %s\n", r.Events, fmtDur(r.WallNS))
+	for _, t := range sortedKeys(r.ByType) {
+		fmt.Printf("  %-12s %d\n", t, r.ByType[t])
+	}
+	if r.PlanCache.Total() > 0 {
+		fmt.Printf("plan cache: %.1f%% hit (%d/%d)\n",
+			100*r.PlanCache.Rate(), r.PlanCache.Hits, r.PlanCache.Total())
+	}
+	if r.Pool.Total() > 0 {
+		fmt.Printf("pool:       %.1f%% hit (%d/%d leases, %d releases)\n",
+			100*r.Pool.Rate(), r.Pool.Hits, r.Pool.Total(), r.PoolReleases)
+	}
+
+	if len(r.Phases) > 0 {
+		fmt.Printf("\n%-36s %7s %12s %10s %10s %10s %10s\n",
+			"phase", "count", "total", "p50", "p95", "p99", "max")
+		for i, p := range r.Phases {
+			if topN > 0 && i >= topN {
+				fmt.Printf("  ... %d more phases\n", len(r.Phases)-topN)
+				break
+			}
+			fmt.Printf("%-36s %7d %12s %10s %10s %10s %10s\n",
+				p.Name, p.Count, fmtDur(p.TotalNS),
+				fmtDur(int64(p.P50NS)), fmtDur(int64(p.P95NS)),
+				fmtDur(int64(p.P99NS)), fmtDur(p.MaxNS))
+		}
+	}
+
+	for _, id := range r.SessionIDs() {
+		s := r.Sessions[id]
+		if len(s.Iterations) == 0 && len(s.Health) == 0 {
+			continue
+		}
+		name := s.ID
+		if name == "" {
+			name = "(runtime)"
+		}
+		fmt.Printf("\nsession %s", name)
+		if s.Engine != "" {
+			fmt.Printf(" [%s]", s.Engine)
+		}
+		fmt.Println()
+		c := s.Convergence
+		if c.Iterations > 0 {
+			fmt.Printf("  iterations: %d  cost %.6g -> %.6g (best %.6g @%d, change %+.1f%%)\n",
+				c.Iterations, c.FirstCost, c.FinalCost, c.BestCost, c.BestIter,
+				-100*c.ReductionFrac)
+			fmt.Printf("  slope ln(cost)/iter: %+.4g\n", c.SlopeLogPerIter)
+			if c.NonFinite {
+				fmt.Printf("  NON-FINITE cost at iteration %d\n", c.NonFiniteIter)
+			}
+			if c.Stalled {
+				fmt.Printf("  STALLED from iteration %d\n", c.StallIter)
+			}
+			if c.Diverged {
+				fmt.Println("  DIVERGED (final cost well above best)")
+			}
+		}
+		for _, h := range s.Health {
+			fmt.Printf("  health: iter %d %s (cost %g)\n", h.Iter, h.Reason, h.Cost)
+		}
+	}
+}
+
+func printDiff(d *analyze.RunDiff) {
+	fmt.Printf("=== diff: A=%s  B=%s ===\n", d.A, d.B)
+	if d.WallRatio > 0 {
+		fmt.Printf("wall ratio (B/A): %.3f\n", d.WallRatio)
+	}
+	fmt.Printf("plan cache hit: %.1f%% -> %.1f%%   pool hit: %.1f%% -> %.1f%%\n",
+		100*d.APlanHitRate, 100*d.BPlanHitRate, 100*d.APoolHitRate, 100*d.BPoolHitRate)
+
+	fmt.Printf("\n%-36s %7s %7s %10s %10s %8s\n",
+		"phase", "A cnt", "B cnt", "A p50", "B p50", "p50 B/A")
+	for _, p := range d.Phases {
+		switch {
+		case p.OnlyA:
+			fmt.Printf("%-36s %7d %7s %10s %10s %8s  (only A)\n",
+				p.Name, p.ACount, "-", fmtDur(int64(p.AP50NS)), "-", "-")
+		case p.OnlyB:
+			fmt.Printf("%-36s %7s %7d %10s %10s %8s  (only B)\n",
+				p.Name, "-", p.BCount, "-", fmtDur(int64(p.BP50NS)), "-")
+		default:
+			fmt.Printf("%-36s %7d %7d %10s %10s %8.3f\n",
+				p.Name, p.ACount, p.BCount,
+				fmtDur(int64(p.AP50NS)), fmtDur(int64(p.BP50NS)), p.P50Ratio)
+		}
+	}
+
+	c := d.Convergence
+	fmt.Printf("\nconvergence: %d vs %d sessions, %d vs %d iterations\n",
+		c.ASessions, c.BSessions, c.AIterations, c.BIterations)
+	if c.ASessions > 0 && c.BSessions > 0 {
+		fmt.Printf("  mean final cost %.6g -> %.6g (ratio %.3f)\n",
+			c.AMeanFinalCost, c.BMeanFinalCost, c.FinalCostRatio)
+	}
+	if c.AStalledRuns+c.BStalledRuns > 0 {
+		fmt.Printf("  stalled runs: %d vs %d\n", c.AStalledRuns, c.BStalledRuns)
+	}
+	if c.ANonFiniteRuns+c.BNonFiniteRuns > 0 {
+		fmt.Printf("  non-finite runs: %d vs %d\n", c.ANonFiniteRuns, c.BNonFiniteRuns)
+	}
+	if c.AUnhealthy+c.BUnhealthy > 0 {
+		fmt.Printf("  health events: %d vs %d\n", c.AUnhealthy, c.BUnhealthy)
+	}
+}
+
+// fmtDur renders nanoseconds with duration-style units.
+func fmtDur(ns int64) string {
+	if ns == 0 {
+		return "0"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -106,6 +106,12 @@ type Options struct {
 	// TraceID tags this run's events so traces from concurrent
 	// optimizations through a shared sink stay distinguishable.
 	TraceID string
+	// Health enables the numerical-health watchdog: each iteration's
+	// cost, gradient norm and time step are judged against the policy,
+	// unhealthy iterations emit a typed health event to Sink, and with
+	// AbortOnUnhealthy the run stops early (Result.Aborted/AbortReason).
+	// nil disables the watchdog entirely.
+	Health *obs.HealthPolicy
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -168,8 +174,12 @@ type Result struct {
 	Psi        *grid.Field // final level-set function
 	Iterations int
 	Converged  bool // stopped on the velocity tolerance
-	History    []IterStats
-	Snapshots  []Snapshot
+	// Aborted is set when the health watchdog stopped the run early;
+	// AbortReason carries the obs.Health* reason code.
+	Aborted     bool
+	AbortReason string
+	History     []IterStats
+	Snapshots   []Snapshot
 }
 
 // FinalCost returns the total cost at the last iteration.
@@ -236,6 +246,7 @@ type Optimizer struct {
 	res      *Result
 	lambdaT  float64
 	bestCost float64
+	watchdog *obs.Watchdog // nil unless Options.Health is set
 
 	released bool
 }
@@ -407,6 +418,10 @@ func (o *Optimizer) start() error {
 	o.res = &Result{History: make([]IterStats, 0, o.opts.MaxIter)}
 	o.lambdaT = o.opts.LambdaT
 	o.bestCost = math.Inf(1)
+	o.watchdog = nil
+	if o.opts.Health != nil {
+		o.watchdog = obs.NewWatchdog(*o.opts.Health, o.opts.Sink, o.opts.TraceID)
+	}
 	return nil
 }
 
@@ -522,6 +537,10 @@ func (o *Optimizer) step(i int) (stop bool) {
 	})
 	mIterations.Inc()
 	mStepNS.Observe(float64(time.Since(stepStart)))
+	gradNorm := 0.0
+	if o.opts.Sink != nil || o.watchdog != nil {
+		gradNorm = o.gTerm.Norm()
+	}
 	if o.opts.Sink != nil {
 		o.opts.Sink.Emit(obs.Event{
 			Type:        obs.EventIteration,
@@ -531,7 +550,7 @@ func (o *Optimizer) step(i int) (stop bool) {
 			Cost:        costTotal,
 			CostNominal: costNom,
 			CostPVB:     costPVB,
-			GradNorm:    o.gTerm.Norm(),
+			GradNorm:    gradNorm,
 			MaxVelocity: maxV,
 			TimeStep:    dt,
 			LambdaPRP:   lambda,
@@ -543,6 +562,16 @@ func (o *Optimizer) step(i int) (stop bool) {
 	}
 
 	res.Iterations = i + 1
+	// Health watchdog: judge this iteration's statistics and stop the
+	// run in the same iteration when the policy demands an abort, so a
+	// NaN-poisoned or diverging run cannot burn its remaining budget.
+	if o.watchdog != nil {
+		if v := o.watchdog.Observe(i, costTotal, gradNorm, dt); v.Abort {
+			res.Aborted = true
+			res.AbortReason = v.Reason
+			return true
+		}
+	}
 	// Line 12: stop when the front has stalled.
 	if maxV <= o.opts.Tolerance {
 		res.Converged = true

@@ -1,0 +1,423 @@
+// Package analyze is the consumption half of the observability layer:
+// it parses the JSONL event traces that obs.JSONLSink writes (the
+// -tracefile output of cmd/lsopc and cmd/benchjson) back into typed
+// runs and computes the summaries a human (or CI) actually wants —
+// per-session convergence curves with slope/stall/divergence analysis,
+// per-phase latency aggregation with interpolated-free exact
+// p50/p95/p99 over the raw span durations, plan-cache and pool hit
+// rates, and run-vs-run diffs.
+//
+// The package depends only on internal/obs (for the Event schema) and
+// the standard library, so commands and tests can consume traces
+// without touching the simulation stack.
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"lsopc/internal/obs"
+)
+
+// Thresholds tune the convergence analysis. The zero value is replaced
+// by DefaultThresholds.
+type Thresholds struct {
+	// StallWindow is the trailing iteration count over which relative
+	// improvement below StallEpsilon flags a stalled run.
+	StallWindow int
+	// StallEpsilon is the relative cost-improvement floor for the stall
+	// window.
+	StallEpsilon float64
+	// DivergenceFactor flags a diverged run when the final cost exceeds
+	// this multiple of the best cost.
+	DivergenceFactor float64
+}
+
+// DefaultThresholds returns the standard analysis configuration.
+func DefaultThresholds() Thresholds {
+	return Thresholds{StallWindow: 5, StallEpsilon: 1e-6, DivergenceFactor: 2}
+}
+
+// IterPoint is one optimizer iteration of one session's series.
+type IterPoint struct {
+	Iter        int     `json:"iter"`
+	Cost        float64 `json:"cost"`
+	CostNominal float64 `json:"cost_nominal,omitempty"`
+	CostPVB     float64 `json:"cost_pvb,omitempty"`
+	GradNorm    float64 `json:"grad_norm,omitempty"`
+	MaxVelocity float64 `json:"max_velocity,omitempty"`
+	TimeStep    float64 `json:"time_step,omitempty"`
+	DurNS       int64   `json:"dur_ns,omitempty"`
+}
+
+// Convergence summarises one session's cost curve.
+type Convergence struct {
+	Iterations int     `json:"iterations"`
+	FirstCost  float64 `json:"first_cost"`
+	FinalCost  float64 `json:"final_cost"`
+	BestCost   float64 `json:"best_cost"`
+	BestIter   int     `json:"best_iter"`
+	// ReductionFrac is (first−final)/first; negative when the run ended
+	// worse than it started.
+	ReductionFrac float64 `json:"reduction_frac"`
+	// SlopeLogPerIter is the least-squares slope of ln(cost) over the
+	// iteration index — the average relative cost change per iteration
+	// (negative = converging). Zero when fewer than two positive costs.
+	SlopeLogPerIter float64 `json:"slope_log_per_iter"`
+	// Stalled: the trailing StallWindow iterations improved the cost by
+	// less than StallEpsilon (relative). StallIter is where the stalled
+	// window starts (-1 when not stalled).
+	Stalled   bool `json:"stalled"`
+	StallIter int  `json:"stall_iter"`
+	// NonFinite: a NaN/Inf cost appeared at NonFiniteIter (-1 when the
+	// whole curve is finite).
+	NonFinite     bool `json:"non_finite"`
+	NonFiniteIter int  `json:"non_finite_iter"`
+	// Diverged: the final cost exceeds DivergenceFactor × the best cost.
+	Diverged bool `json:"diverged"`
+}
+
+// HealthEvent is one watchdog verdict recorded in the trace.
+type HealthEvent struct {
+	Iter   int     `json:"iter"`
+	Reason string  `json:"reason"`
+	Cost   float64 `json:"cost"`
+}
+
+// Session is the reconstructed view of one traced session (one trace
+// id): its iteration series, convergence summary and health verdicts.
+type Session struct {
+	ID          string        `json:"id"`
+	Engine      string        `json:"engine,omitempty"`
+	Iterations  []IterPoint   `json:"iterations,omitempty"`
+	Convergence Convergence   `json:"convergence"`
+	Health      []HealthEvent `json:"health,omitempty"`
+}
+
+// PhaseStats aggregates the durations of one phase: a span name
+// ("span:optimize.levelset"), a per-corner simulate op
+// ("corner:forward_gradient/nominal") or the optimizer iteration
+// ("iteration"). Quantiles are exact (computed from the sorted raw
+// durations, not histogram buckets).
+type PhaseStats struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalNS int64   `json:"total_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+	P50NS   float64 `json:"p50_ns"`
+	P95NS   float64 `json:"p95_ns"`
+	P99NS   float64 `json:"p99_ns"`
+	MaxNS   int64   `json:"max_ns"`
+
+	durs []int64
+}
+
+// HitRate is a hit/miss tally (plan-cache lookups, pool leases).
+type HitRate struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// Rate returns hits/(hits+misses), 0 when nothing was counted.
+func (h HitRate) Rate() float64 {
+	if n := h.Hits + h.Misses; n > 0 {
+		return float64(h.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Total returns the lookup count.
+func (h HitRate) Total() int { return h.Hits + h.Misses }
+
+// Run is one fully parsed trace file.
+type Run struct {
+	Label  string `json:"label,omitempty"` // file name or caller-set tag
+	Events int    `json:"events"`
+	// WallNS spans the first to the last sink timestamp.
+	WallNS    int64               `json:"wall_ns"`
+	ByType    map[string]int      `json:"by_type"`
+	Sessions  map[string]*Session `json:"sessions"`
+	Phases    []PhaseStats        `json:"phases"`
+	PlanCache HitRate             `json:"plan_cache"`
+	Pool      HitRate             `json:"pool"`
+	// PoolReleases counts pool release events (not part of the hit rate).
+	PoolReleases int `json:"pool_releases"`
+	// Health is every watchdog event in the trace, in order.
+	Health []obs.Event `json:"health,omitempty"`
+
+	phaseIdx map[string]int
+}
+
+// SessionIDs returns the session keys in sorted order (the runtime
+// pseudo-session "" sorts first when present).
+func (r *Run) SessionIDs() []string {
+	ids := make([]string, 0, len(r.Sessions))
+	for id := range r.Sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Phase returns the named phase's stats, or nil.
+func (r *Run) Phase(name string) *PhaseStats {
+	if i, ok := r.phaseIdx[name]; ok {
+		return &r.Phases[i]
+	}
+	return nil
+}
+
+// Wall returns the trace's wall-clock extent.
+func (r *Run) Wall() time.Duration { return time.Duration(r.WallNS) }
+
+// ParseFile parses one JSONL trace file with the default thresholds.
+func ParseFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	run, err := Parse(f, DefaultThresholds())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	run.Label = path
+	return run, nil
+}
+
+// Parse reads a JSONL event stream and builds the typed run. Lines must
+// be valid JSON events with a type (the invariants cmd/tracecheck
+// enforces); an empty stream is an error — a trace with zero events
+// means the instrumentation never ran.
+func Parse(in io.Reader, th Thresholds) (*Run, error) {
+	if th.StallWindow == 0 && th.StallEpsilon == 0 && th.DivergenceFactor == 0 {
+		th = DefaultThresholds()
+	}
+	run := &Run{
+		ByType:   map[string]int{},
+		Sessions: map[string]*Session{},
+		phaseIdx: map[string]int{},
+	}
+	var firstNS, lastNS int64
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("line %d: invalid JSON: %v", line, err)
+		}
+		if e.Type == "" {
+			return nil, fmt.Errorf("line %d: event has no type", line)
+		}
+		run.Events++
+		run.ByType[e.Type]++
+		if e.TimeNS != 0 {
+			if firstNS == 0 || e.TimeNS < firstNS {
+				firstNS = e.TimeNS
+			}
+			if e.TimeNS > lastNS {
+				lastNS = e.TimeNS
+			}
+		}
+		switch e.Type {
+		case obs.EventIteration:
+			s := run.session(e.Trace, e.Engine)
+			s.Iterations = append(s.Iterations, IterPoint{
+				Iter:        e.Iter,
+				Cost:        e.Cost,
+				CostNominal: e.CostNominal,
+				CostPVB:     e.CostPVB,
+				GradNorm:    e.GradNorm,
+				MaxVelocity: e.MaxVelocity,
+				TimeStep:    e.TimeStep,
+				DurNS:       e.DurNS,
+			})
+			run.observePhase("iteration", e.DurNS)
+		case obs.EventCorner:
+			run.observePhase("corner:"+e.Name+"/"+e.Corner, e.DurNS)
+		case obs.EventSpan:
+			run.session(e.Trace, e.Engine)
+			run.observePhase("span:"+e.Name, e.DurNS)
+		case obs.EventPlanCache:
+			if e.Hit {
+				run.PlanCache.Hits++
+			} else {
+				run.PlanCache.Misses++
+			}
+		case obs.EventPool:
+			if strings.HasSuffix(e.Name, ".release") {
+				run.PoolReleases++
+			} else if e.Hit {
+				run.Pool.Hits++
+			} else {
+				run.Pool.Misses++
+			}
+		case obs.EventHealth:
+			run.Health = append(run.Health, e)
+			s := run.session(e.Trace, "")
+			s.Health = append(s.Health, HealthEvent{Iter: e.Iter, Reason: e.Msg, Cost: e.Cost})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if run.Events == 0 {
+		return nil, fmt.Errorf("trace is empty")
+	}
+	if lastNS > firstNS {
+		run.WallNS = lastNS - firstNS
+	}
+	run.finalize(th)
+	return run, nil
+}
+
+// session returns (creating if needed) the session for a trace id.
+func (r *Run) session(id, engine string) *Session {
+	s, ok := r.Sessions[id]
+	if !ok {
+		s = &Session{ID: id}
+		r.Sessions[id] = s
+	}
+	if s.Engine == "" {
+		s.Engine = engine
+	}
+	return s
+}
+
+// observePhase appends one duration sample to the named phase.
+func (r *Run) observePhase(name string, durNS int64) {
+	i, ok := r.phaseIdx[name]
+	if !ok {
+		i = len(r.Phases)
+		r.phaseIdx[name] = i
+		r.Phases = append(r.Phases, PhaseStats{Name: name})
+	}
+	p := &r.Phases[i]
+	p.Count++
+	p.TotalNS += durNS
+	if durNS > p.MaxNS {
+		p.MaxNS = durNS
+	}
+	p.durs = append(p.durs, durNS)
+}
+
+// finalize computes quantiles and convergence summaries and sorts the
+// phase table by total time (descending).
+func (r *Run) finalize(th Thresholds) {
+	for i := range r.Phases {
+		p := &r.Phases[i]
+		sort.Slice(p.durs, func(a, b int) bool { return p.durs[a] < p.durs[b] })
+		p.MeanNS = float64(p.TotalNS) / float64(p.Count)
+		p.P50NS = percentile(p.durs, 0.50)
+		p.P95NS = percentile(p.durs, 0.95)
+		p.P99NS = percentile(p.durs, 0.99)
+		p.durs = nil
+	}
+	sort.Slice(r.Phases, func(a, b int) bool { return r.Phases[a].TotalNS > r.Phases[b].TotalNS })
+	r.phaseIdx = map[string]int{}
+	for i, p := range r.Phases {
+		r.phaseIdx[p.Name] = i
+	}
+	for _, s := range r.Sessions {
+		s.Convergence = summarize(s.Iterations, th)
+	}
+}
+
+// percentile interpolates the q-quantile of ascending-sorted samples.
+func percentile(sorted []int64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return float64(sorted[0])
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return float64(sorted[n-1])
+	}
+	frac := pos - float64(i)
+	return float64(sorted[i]) + frac*float64(sorted[i+1]-sorted[i])
+}
+
+// summarize computes the convergence summary of one iteration series.
+func summarize(iters []IterPoint, th Thresholds) Convergence {
+	c := Convergence{Iterations: len(iters), StallIter: -1, NonFiniteIter: -1}
+	if len(iters) == 0 {
+		return c
+	}
+	c.FirstCost = iters[0].Cost
+	c.FinalCost = iters[len(iters)-1].Cost
+	c.BestCost = math.Inf(1)
+	for i, p := range iters {
+		if !c.NonFinite && (math.IsNaN(p.Cost) || math.IsInf(p.Cost, 0)) {
+			c.NonFinite, c.NonFiniteIter = true, p.Iter
+		}
+		if p.Cost < c.BestCost {
+			c.BestCost, c.BestIter = p.Cost, i
+		}
+	}
+	if math.IsInf(c.BestCost, 1) { // every cost non-finite
+		c.BestCost = math.NaN()
+	}
+	if c.FirstCost != 0 && !c.NonFinite {
+		c.ReductionFrac = (c.FirstCost - c.FinalCost) / c.FirstCost
+	}
+	c.SlopeLogPerIter = logSlope(iters)
+	// Stall: the trailing window's total relative improvement is below
+	// the epsilon.
+	if w := th.StallWindow; !c.NonFinite && w > 0 && len(iters) > w {
+		start := iters[len(iters)-1-w].Cost
+		end := c.FinalCost
+		denom := math.Abs(start)
+		if denom < 1 {
+			denom = 1
+		}
+		if (start-end)/denom < th.StallEpsilon {
+			c.Stalled = true
+			c.StallIter = iters[len(iters)-1-w].Iter
+		}
+	}
+	if !c.NonFinite && th.DivergenceFactor > 0 && c.BestCost > 0 &&
+		c.FinalCost > th.DivergenceFactor*c.BestCost {
+		c.Diverged = true
+	}
+	return c
+}
+
+// logSlope is the least-squares slope of ln(cost) against the sample
+// index, using only finite positive costs. It approximates the average
+// relative cost change per iteration.
+func logSlope(iters []IterPoint) float64 {
+	var n float64
+	var sumX, sumY, sumXX, sumXY float64
+	for i, p := range iters {
+		if p.Cost <= 0 || math.IsNaN(p.Cost) || math.IsInf(p.Cost, 0) {
+			continue
+		}
+		x, y := float64(i), math.Log(p.Cost)
+		n++
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	if n < 2 {
+		return 0
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0
+	}
+	return (n*sumXY - sumX*sumY) / den
+}

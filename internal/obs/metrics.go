@@ -87,6 +87,29 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket containing the target rank, assuming observations
+// are non-negative (true for the duration histograms this registry
+// holds). Samples in the +Inf overflow bucket clamp to the largest
+// finite bound. Returns 0 on an empty histogram or out-of-range q.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return 0
+	}
+	rank := q * float64(total)
+	cum, lower := 0.0, 0.0
+	for i := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			return lower + (rank-cum)/c*(h.bounds[i]-lower)
+		}
+		cum += c
+		lower = h.bounds[i]
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry is a concurrency-safe name → metric table. Get-or-create
 // accessors take a mutex; hot paths cache the returned pointer in a
 // package variable so steady-state updates never touch the registry.
@@ -166,6 +189,9 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for name, h := range r.hists {
 		out[name+".count"] = float64(h.Count())
 		out[name+".sum"] = h.Sum()
+		out[name+".p50"] = h.Quantile(0.50)
+		out[name+".p95"] = h.Quantile(0.95)
+		out[name+".p99"] = h.Quantile(0.99)
 		cum := int64(0)
 		for i := range h.bounds {
 			cum += h.counts[i].Load()

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,10 @@ const (
 	// EventProgress is a human-readable progress line (the experiments
 	// harness emits these; LineSink renders them verbatim).
 	EventProgress = "progress"
+	// EventHealth is a numerical-health verdict from the watchdog: a
+	// NaN/Inf cost or gradient, a stalled front, or cost divergence
+	// (see HealthPolicy). Msg carries the reason code.
+	EventHealth = "health"
 )
 
 // Event is one structured trace record. It is a flat union of the
@@ -83,6 +88,119 @@ type Event struct {
 	Msg string `json:"msg,omitempty"`
 }
 
+// traceFloat marshals non-finite values as the strings "NaN", "+Inf"
+// and "-Inf" instead of failing the whole line — encoding/json rejects
+// NaN/Inf, and the events most worth keeping (a NaN-poisoned cost, the
+// watchdog's health verdict about it) are exactly the non-finite ones.
+type traceFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f traceFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *traceFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = traceFloat(math.NaN())
+		case "+Inf", "Inf":
+			*f = traceFloat(math.Inf(1))
+		case "-Inf":
+			*f = traceFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("obs: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = traceFloat(v)
+	return nil
+}
+
+// eventJSON mirrors Event with non-finite-safe float fields; Event's
+// JSON round-trip goes through it.
+type eventJSON struct {
+	Type   string `json:"type"`
+	Seq    int64  `json:"seq,omitempty"`
+	TimeNS int64  `json:"time_ns,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	Corner string `json:"corner,omitempty"`
+	Iter   int    `json:"iter,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Hit    bool   `json:"hit,omitempty"`
+	DurNS  int64  `json:"dur_ns,omitempty"`
+
+	Cost        traceFloat `json:"cost,omitempty"`
+	CostNominal traceFloat `json:"cost_nominal,omitempty"`
+	CostPVB     traceFloat `json:"cost_pvb,omitempty"`
+	GradNorm    traceFloat `json:"grad_norm,omitempty"`
+	MaxVelocity traceFloat `json:"max_velocity,omitempty"`
+	TimeStep    traceFloat `json:"time_step,omitempty"`
+	LambdaPRP   traceFloat `json:"lambda_prp,omitempty"`
+
+	Msg string `json:"msg,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler: one flat object per event,
+// with NaN/±Inf floats rendered as strings instead of erroring.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Type: e.Type, Seq: e.Seq, TimeNS: e.TimeNS, Trace: e.Trace,
+		Name: e.Name, Engine: e.Engine, Corner: e.Corner,
+		Iter: e.Iter, N: e.N, Hit: e.Hit, DurNS: e.DurNS,
+		Cost:        traceFloat(e.Cost),
+		CostNominal: traceFloat(e.CostNominal),
+		CostPVB:     traceFloat(e.CostPVB),
+		GradNorm:    traceFloat(e.GradNorm),
+		MaxVelocity: traceFloat(e.MaxVelocity),
+		TimeStep:    traceFloat(e.TimeStep),
+		LambdaPRP:   traceFloat(e.LambdaPRP),
+		Msg:         e.Msg,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*e = Event{
+		Type: j.Type, Seq: j.Seq, TimeNS: j.TimeNS, Trace: j.Trace,
+		Name: j.Name, Engine: j.Engine, Corner: j.Corner,
+		Iter: j.Iter, N: j.N, Hit: j.Hit, DurNS: j.DurNS,
+		Cost:        float64(j.Cost),
+		CostNominal: float64(j.CostNominal),
+		CostPVB:     float64(j.CostPVB),
+		GradNorm:    float64(j.GradNorm),
+		MaxVelocity: float64(j.MaxVelocity),
+		TimeStep:    float64(j.TimeStep),
+		LambdaPRP:   float64(j.LambdaPRP),
+		Msg:         j.Msg,
+	}
+	return nil
+}
+
 // String renders the event as one human-readable line (no trailing
 // newline, except progress messages which carry their own).
 func (e Event) String() string {
@@ -99,6 +217,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s n=%d hit=%v", e.Type, e.Name, e.N, e.Hit)
 	case EventSpan:
 		return fmt.Sprintf("%s %s %s engine=%s %.3fms", e.Type, e.Trace, e.Name, e.Engine, float64(e.DurNS)/1e6)
+	case EventHealth:
+		return fmt.Sprintf("%s %s iter=%d %s cost=%.6g |g|=%.4g",
+			e.Type, e.Trace, e.Iter, e.Msg, e.Cost, e.GradNorm)
 	default:
 		return fmt.Sprintf("%s %s %s", e.Type, e.Trace, e.Msg)
 	}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	// 10 samples uniform in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %g, want 10 (bucket boundary)", got)
+	}
+	// p25 lands mid-first-bucket: rank 5 of 10 in (0,10] → 5.
+	if got := h.Quantile(0.25); got != 5 {
+		t.Fatalf("p25 = %g, want 5", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("p100 = %g, want 20", got)
+	}
+	// Overflow samples clamp to the largest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 40 {
+		t.Fatalf("p100 with overflow = %g, want 40", got)
+	}
+	if got := h.Quantile(-0.1); got != 0 {
+		t.Fatalf("out-of-range q = %g, want 0", got)
+	}
+}
+
+func TestSnapshotIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{100, 200})
+	for i := 0; i < 4; i++ {
+		h.Observe(50)
+	}
+	snap := r.Snapshot()
+	for _, k := range []string{"lat.p50", "lat.p95", "lat.p99"} {
+		v, ok := snap[k]
+		if !ok {
+			t.Fatalf("snapshot missing %q: %v", k, snap)
+		}
+		if v <= 0 || v > 100 {
+			t.Fatalf("snapshot[%q] = %g, want in (0,100]", k, v)
+		}
+	}
+}
+
+func TestEventNonFiniteRoundTrip(t *testing.T) {
+	e := Event{
+		Type: EventHealth, Trace: "s1", Iter: 3, Msg: HealthNonFiniteCost,
+		Cost: math.NaN(), GradNorm: math.Inf(1), TimeStep: math.Inf(-1), CostPVB: 2.5,
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal with NaN/Inf failed: %v", err)
+	}
+	var got Event
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Cost) || !math.IsInf(got.GradNorm, 1) || !math.IsInf(got.TimeStep, -1) {
+		t.Fatalf("round trip lost non-finite values: %+v", got)
+	}
+	if got.CostPVB != 2.5 || got.Msg != HealthNonFiniteCost || got.Iter != 3 {
+		t.Fatalf("round trip lost finite fields: %+v", got)
+	}
+	// A NaN-carrying event must survive the JSONL sink, not be dropped.
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(e)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("sink flush after NaN event: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"cost":"NaN"`)) {
+		t.Fatalf("NaN not encoded: %s", buf.String())
+	}
+}
+
+// errorSink is a Flusher whose Flush always fails.
+type errorSink struct{ err error }
+
+func (s errorSink) Emit(Event)   {}
+func (s errorSink) Flush() error { return s.err }
+
+func TestTeeSinkFlushErrorAggregation(t *testing.T) {
+	err1 := errors.New("first failure")
+	err2 := errors.New("second failure")
+	var c CollectorSink
+	tee := TeeSink{nil, &c, errorSink{err1}, errorSink{err2}}
+	tee.Emit(Event{Type: EventSpan, Name: "job"})
+	if c.Len() != 1 {
+		t.Fatalf("collector events = %d, want 1 (nil member must be skipped)", c.Len())
+	}
+	// Flush visits every member and reports the first error.
+	if err := tee.Flush(); err != err1 {
+		t.Fatalf("tee flush error = %v, want %v", err, err1)
+	}
+	// All-healthy tee flushes clean.
+	if err := (TeeSink{&c, nil}).Flush(); err != nil {
+		t.Fatalf("clean tee flush = %v", err)
+	}
+}
+
+func TestCollectorSinkConcurrent(t *testing.T) {
+	var c CollectorSink
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers racing the writers: Events must always return
+	// a consistent copy.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range c.Events() {
+					if e.Type != EventIteration {
+						t.Errorf("torn event: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				c.Emit(Event{Type: EventIteration, Iter: i, N: w})
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if c.Len() != workers*per {
+		t.Fatalf("events = %d, want %d", c.Len(), workers*per)
+	}
+	// The copy is detached: mutating it must not corrupt the sink.
+	snap := c.Events()
+	snap[0].Type = "mutated"
+	if c.Events()[0].Type != EventIteration {
+		t.Fatal("Events returned an aliased slice")
+	}
+}

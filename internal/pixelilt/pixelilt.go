@@ -86,6 +86,10 @@ type Options struct {
 	Sink obs.Sink
 	// TraceID tags this run's events in a shared sink.
 	TraceID string
+	// Health enables the numerical-health watchdog over the iteration
+	// cost; unhealthy iterations emit a health event and, with
+	// AbortOnUnhealthy, stop the run (Result.Aborted/AbortReason).
+	Health *obs.HealthPolicy
 }
 
 // DefaultOptions returns the published schedule shape for the variant.
@@ -143,8 +147,12 @@ type Result struct {
 	Mask       *grid.Field // binarised optimized mask
 	Gray       *grid.Field // continuous sigmoid mask σ(a·θ)
 	Iterations int
-	History    []IterStats
-	CornerSims int // total forward+adjoint corner evaluations (runtime proxy)
+	// Aborted is set when the health watchdog stopped the run early;
+	// AbortReason carries the obs.Health* reason code.
+	Aborted     bool
+	AbortReason string
+	History     []IterStats
+	CornerSims  int // total forward+adjoint corner evaluations (runtime proxy)
 }
 
 // cornerPlan returns the corners to simulate at iteration i and their
@@ -179,6 +187,13 @@ func (o Options) cornerPlan(i int) ([]litho.Condition, []float64) {
 	default:
 		return []litho.Condition{litho.Nominal}, []float64{1}
 	}
+}
+
+// constantCornerPlan reports whether the variant simulates the same
+// corner set every iteration (making its cost series comparable across
+// iterations).
+func (o Options) constantCornerPlan() bool {
+	return o.Variant == MosaicExact || o.Variant == RobustOPC
 }
 
 // Optimize runs the pixel-based baseline on the simulator for the given
@@ -216,6 +231,19 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 
 	if opts.Sink != nil {
 		sim.SetSink(opts.Sink, opts.TraceID)
+	}
+	var wd *obs.Watchdog
+	if opts.Health != nil {
+		hp := *opts.Health
+		if !opts.constantCornerPlan() {
+			// MOSAIC_fast cycles corners and PVOPC switches phases, so
+			// successive iteration costs sum different corner subsets;
+			// windowed stall/divergence checks would compare
+			// incommensurable values. Keep only the non-finite check.
+			hp.StallWindow = 0
+			hp.DivergenceWindow = 0
+		}
+		wd = obs.NewWatchdog(hp, opts.Sink, opts.TraceID)
 	}
 	res := &Result{}
 	for i := 0; i < opts.MaxIter; i++ {
@@ -258,6 +286,15 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 			}
 		}
 		res.Iterations = i + 1
+		// Health watchdog: abort in the same iteration on NaN/Inf cost
+		// or gradient, divergence, or a stalled schedule.
+		if wd != nil {
+			if v := wd.Observe(i, cost, maxG, opts.StepSize); v.Abort {
+				res.Aborted = true
+				res.AbortReason = v.Reason
+				break
+			}
+		}
 		if maxG == 0 {
 			break
 		}

@@ -58,6 +58,9 @@ type (
 	TraceEvent = obs.Event
 	// MetricsRegistry is a named set of counters/gauges/histograms.
 	MetricsRegistry = obs.Registry
+	// HealthPolicy configures the numerical-health watchdog (NaN/Inf
+	// detection, stall and divergence windows, early abort).
+	HealthPolicy = obs.HealthPolicy
 )
 
 // Trace event types emitted through a TraceSink.
@@ -68,7 +71,12 @@ const (
 	EventPool      = obs.EventPool      // one field-pool lease/release
 	EventSpan      = obs.EventSpan      // one pipeline job span
 	EventProgress  = obs.EventProgress  // free-form progress line
+	EventHealth    = obs.EventHealth    // one numerical-health verdict
 )
+
+// DefaultHealthPolicy returns the standard watchdog configuration: all
+// checks on, abort on the first unhealthy iteration.
+func DefaultHealthPolicy() HealthPolicy { return obs.DefaultHealthPolicy() }
 
 // NewJSONLTraceSink returns a sink writing one JSON object per event to
 // w, safe for concurrent sessions (events get a total-order sequence
@@ -212,6 +220,7 @@ type Pipeline struct {
 	// trace id ("s1", "s2", …) so events from concurrent jobs through
 	// the shared sink stay distinguishable.
 	sink     obs.Sink
+	health   *obs.HealthPolicy
 	traceSeq atomic.Int64
 
 	mu   sync.Mutex
@@ -228,6 +237,16 @@ type PipelineOption func(*Pipeline)
 // (JSONL and line sinks are). Pipeline.Release flushes it.
 func WithTraceSink(s TraceSink) PipelineOption {
 	return func(p *Pipeline) { p.sink = s }
+}
+
+// WithHealthPolicy attaches a numerical-health watchdog policy to the
+// pipeline: every optimization it runs (level-set and pixel baselines)
+// inherits the policy unless the per-run options carry their own.
+// Unhealthy iterations emit typed health events to the pipeline's trace
+// sink, and with AbortOnUnhealthy the run stops early, reporting
+// Aborted/AbortReason in its result.
+func WithHealthPolicy(hp HealthPolicy) PipelineOption {
+	return func(p *Pipeline) { p.health = &hp }
 }
 
 // NewPipeline builds a pipeline at the given preset on the given engine
@@ -527,6 +546,9 @@ func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult,
 		opts.Sink = s.p.sink
 		opts.TraceID = s.trace
 	}
+	if opts.Health == nil {
+		opts.Health = s.p.health
+	}
 	opt, err := core.New(s.sim, target, opts)
 	if err != nil {
 		return nil, err
@@ -574,6 +596,9 @@ func (s *Session) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult
 	if opts.Sink == nil && s.p.sink != nil {
 		opts.Sink = s.p.sink
 		opts.TraceID = s.trace
+	}
+	if opts.Health == nil {
+		opts.Health = s.p.health
 	}
 	start := time.Now()
 	res, err := pixelilt.Optimize(s.sim, target, opts)

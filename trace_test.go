@@ -231,3 +231,47 @@ func TestPipelineReleaseFlushesSinkOnce(t *testing.T) {
 	}
 	p.Release() // must not panic or double-free
 }
+
+// TestPipelineHealthPolicyInheritance verifies WithHealthPolicy reaches
+// runs started through the pipeline: a policy that flags every
+// post-first iteration as stalled must abort the run early and emit a
+// typed health event tagged with the session's trace id.
+func TestPipelineHealthPolicyInheritance(t *testing.T) {
+	sink := NewCollectorTraceSink()
+	hp := DefaultHealthPolicy()
+	hp.StallWindow = 1
+	hp.StallEpsilon = 1e9 // any finite improvement counts as a stall
+	hp.DivergenceWindow = 0
+	p, err := NewPipeline(PresetTest, CPUEngine(), WithTraceSink(sink), WithHealthPolicy(hp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+
+	opts := DefaultLevelSetOptions()
+	opts.MaxIter = 10
+	opts.Tolerance = 0
+	res, err := p.OptimizeLevelSet(Benchmark("B1"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := res.LevelSet
+	if !ls.Aborted || ls.AbortReason != obs.HealthStall {
+		t.Fatalf("aborted=%v reason=%q, want stall abort", ls.Aborted, ls.AbortReason)
+	}
+	if ls.Iterations >= opts.MaxIter {
+		t.Fatalf("run used the full budget (%d iterations) despite the abort policy", ls.Iterations)
+	}
+	found := false
+	for _, e := range sink.Events() {
+		if e.Type == EventHealth {
+			found = true
+			if e.Trace == "" || e.Msg != obs.HealthStall {
+				t.Fatalf("health event = %+v, want stall under a session trace id", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no health event reached the pipeline sink")
+	}
+}

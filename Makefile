@@ -4,7 +4,9 @@
 #   make test    - full test suite (tier-1 gate)
 #   make race    - race-detector run over the parallel execution layers
 #   make vet     - static analysis
-#   make bench   - the headline benchmarks behind the Table II claims
+#   make bench   - the headline benchmarks behind the Table II claims,
+#               then regenerate BENCH_multires.json (full-res float64
+#               vs coarse-to-fine float32, gated by benchdiff)
 #   make trace   - instrumented run + JSONL trace validation (tracecheck)
 #               + trace analytics report (tracestats)
 #   make benchjson - regenerate the "after" entry of BENCH_batchfft.json
@@ -43,6 +45,10 @@ trace:
 # Perf-regression smoke gate: two quick benchmark passes into one
 # artefact, benchdiff must pass the file against itself and must FAIL
 # against a copy with 25% inflated metrics (proving the gate trips).
+# The multires leg measures one Table II case in both variants and
+# requires the coarse-to-fine float32 path to be no slower than the
+# full-resolution float64 reference — the speedup is enforced, not
+# merely recorded.
 benchgate:
 	$(GO) run ./cmd/benchjson -bench BatchFFT -label r1 -o /tmp/lsopc-benchgate.json
 	$(GO) run ./cmd/benchjson -bench BatchFFT -label r2 -o /tmp/lsopc-benchgate.json
@@ -53,12 +59,16 @@ benchgate:
 	else \
 		echo "benchgate: regression correctly detected on the inflated copy"; \
 	fi
+	$(GO) run ./cmd/benchjson -multires -bench B4 -o /tmp/lsopc-benchgate-multires.json
+	$(GO) run ./cmd/benchdiff -old-labels baseline -new-labels multires /tmp/lsopc-benchgate-multires.json /tmp/lsopc-benchgate-multires.json
 
 vet:
 	$(GO) vet ./...
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkTable2PerCase|BenchmarkAerialExact|BenchmarkAerialFused|BenchmarkGradient$$|BenchmarkBatch' -benchmem ./...
+	$(GO) run ./cmd/benchjson -multires
+	$(GO) run ./cmd/benchdiff -old-labels baseline -new-labels multires BENCH_multires.json BENCH_multires.json
 
 benchjson:
 	$(GO) run ./cmd/benchjson -label after

@@ -40,9 +40,19 @@ func main() {
 	note := flag.String("note", "", "free-form note stored with the run")
 	filter := flag.String("bench", "", "substring filter on benchmark names")
 	sessions := flag.Bool("sessions", false, "measure concurrent-session throughput instead (BENCH_sessions.json)")
+	multires := flag.Bool("multires", false, "measure Table II per-case runtime, full-res float64 vs coarse-to-fine float32 (BENCH_multires.json)")
 	tracePath := flag.String("tracefile", "", "write a structured JSONL event trace of the sessions sweep to this file")
 	metrics := flag.Bool("metrics", false, "store the full flat metrics snapshot with the run (sessions mode)")
 	flag.Parse()
+	if *multires {
+		// Labels are fixed ("baseline"/"multires"): the artefact compares
+		// the two variants against each other, not runs over time.
+		if *out == "" {
+			*out = "BENCH_multires.json"
+		}
+		multiresMain(*out, *note, *filter)
+		return
+	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
 		os.Exit(2)

@@ -35,17 +35,23 @@ func main() {
 		tracePath = flag.String("tracefile", "", "write a structured JSONL event trace (iterations, corner timings, plan-cache and pool events) to this file")
 		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. 127.0.0.1:6060)")
 		health    = flag.Bool("health", false, "run the numerical-health watchdog (NaN/Inf, stall, divergence detection; aborts the run on an unhealthy iteration)")
+		multires  = flag.Int("multires", 1, "coarse-to-fine start factor (power of two): begin on a grid downsampled by this factor, halving each level; 1 = single resolution")
+		precision = flag.String("precision", "float64", "forward-model precision: float64 (bit-exact reference) | float32 (fast path)")
 	)
 	flag.Parse()
 
-	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics, *health); err != nil {
+	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics, *health, *multires, *precision); err != nil {
 		fmt.Fprintln(os.Stderr, "lsopc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string, health bool) error {
+func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string, health bool, multires int, precisionStr string) error {
 	preset, err := lsopc.ParsePreset(presetStr)
+	if err != nil {
+		return err
+	}
+	prec, err := lsopc.ParsePrecision(precisionStr)
 	if err != nil {
 		return err
 	}
@@ -85,6 +91,9 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 	if health {
 		popts = append(popts, lsopc.WithHealthPolicy(lsopc.DefaultHealthPolicy()))
 	}
+	if prec != lsopc.Float64 {
+		popts = append(popts, lsopc.WithPrecision(prec))
+	}
 	pipe, err := lsopc.NewPipeline(preset, eng, popts...)
 	if err != nil {
 		return err
@@ -108,6 +117,7 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 		if pvbWeight >= 0 {
 			opts.PVBWeight = pvbWeight
 		}
+		opts.MultiResFactor = multires
 		result, err = pipe.OptimizeLevelSet(layout, opts)
 	case "MOSAIC_fast", "MOSAIC_exact", "robust", "PVOPC":
 		opts := lsopc.DefaultBaselineOptions(parseVariant(method))
@@ -117,6 +127,7 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 		if pvbWeight >= 0 {
 			opts.PVBWeight = pvbWeight
 		}
+		opts.MultiResFactor = multires
 		result, err = pipe.OptimizeBaseline(layout, opts)
 	default:
 		return fmt.Errorf("unknown method %q", method)

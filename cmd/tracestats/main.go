@@ -3,7 +3,9 @@
 // analytics: event inventory, plan-cache and pool hit rates, a per-phase
 // latency table with exact p50/p95/p99 over the raw span durations, and
 // per-session convergence summaries (slope of ln(cost), stalls,
-// non-finite costs, divergence, watchdog health events).
+// non-finite costs, divergence, watchdog health events). Coarse-to-fine
+// traces additionally get per-resolution-level convergence segments and
+// per-grid-size corner phases ("corner:…@64").
 //
 // Usage:
 //
@@ -167,12 +169,32 @@ func printRun(r *analyze.Run, topN int) {
 			if c.NonFinite {
 				fmt.Printf("  NON-FINITE cost at iteration %d\n", c.NonFiniteIter)
 			}
-			if c.Stalled {
-				fmt.Printf("  STALLED from iteration %d\n", c.StallIter)
+			// Coarse-to-fine sessions sum costs over different grid sizes,
+			// so stall/divergence verdicts only make sense per level.
+			if len(s.Levels) > 0 {
+				fmt.Println("  (costs span multiple resolutions; see per-level summaries)")
+			} else {
+				if c.Stalled {
+					fmt.Printf("  STALLED from iteration %d\n", c.StallIter)
+				}
+				if c.Diverged {
+					fmt.Println("  DIVERGED (final cost well above best)")
+				}
 			}
-			if c.Diverged {
-				fmt.Println("  DIVERGED (final cost well above best)")
+		}
+		for _, lv := range s.Levels {
+			fmt.Printf("  level %4dpx: iters %d (from %d)", lv.GridN, lv.Iterations, lv.StartIter)
+			lc := lv.Convergence
+			if lc.Iterations > 0 {
+				fmt.Printf("  cost %.6g -> %.6g  slope %+.3g", lc.FirstCost, lc.FinalCost, lc.SlopeLogPerIter)
 			}
+			if lv.MeanIterNS > 0 {
+				fmt.Printf("  iter p50 %s p95 %s", fmtDur(int64(lv.P50IterNS)), fmtDur(int64(lv.P95IterNS)))
+			}
+			if lv.InterpNS > 0 {
+				fmt.Printf("  interp %s", fmtDur(lv.InterpNS))
+			}
+			fmt.Println()
 		}
 		for _, h := range s.Health {
 			fmt.Printf("  health: iter %d %s (cost %g)\n", h.Iter, h.Reason, h.Cost)

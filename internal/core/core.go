@@ -97,6 +97,27 @@ type Options struct {
 	// solution. Must match the grid; nil uses the target (Algorithm 1,
 	// line 1).
 	InitialMask *grid.Field
+	// InitialPsi seeds the level-set function directly, bypassing the
+	// signed-distance initialisation — used by the coarse-to-fine driver
+	// to hand an upsampled, redistanced ψ to the next level. Takes
+	// precedence over InitialMask. The field is cloned; the caller keeps
+	// ownership.
+	InitialPsi *grid.Field
+	// MultiResFactor > 1 enables coarse-to-fine evolution (see
+	// RunMultiResolution): the run starts on a grid downsampled by this
+	// power-of-two factor, halving the factor each level until full
+	// resolution. 0 or 1 runs single-resolution. Plain Optimizer.Run
+	// ignores it — only RunMultiResolution consumes the schedule.
+	MultiResFactor int
+	// MultiResIters is the iteration budget per coarse level. Full
+	// resolution gets the remainder of MaxIter after all coarse levels;
+	// 0 defaults to MaxIter/2 split evenly across the coarse levels.
+	MultiResIters int
+	// IterOffset shifts the iteration numbers reported in History,
+	// snapshots, trace events and watchdog verdicts — the coarse-to-fine
+	// driver uses it to keep one globally contiguous iteration axis
+	// across levels. Plain runs leave it 0.
+	IterOffset int
 	// Sink receives one structured iteration event per optimizer step
 	// (cost terms, gradient norm, step size) plus per-corner simulate
 	// spans from the underlying simulator sessions. nil (the default)
@@ -147,6 +168,14 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: CleanupTinyPx must be ≥ 0, got %d", o.CleanupTinyPx)
 	case o.BandWidthPx < 0:
 		return fmt.Errorf("core: BandWidthPx must be ≥ 0, got %g", o.BandWidthPx)
+	case o.MultiResFactor < 0:
+		return fmt.Errorf("core: MultiResFactor must be ≥ 0, got %d", o.MultiResFactor)
+	case o.MultiResFactor > 1 && !grid.IsPow2(o.MultiResFactor):
+		return fmt.Errorf("core: MultiResFactor must be a power of two, got %d", o.MultiResFactor)
+	case o.MultiResIters < 0:
+		return fmt.Errorf("core: MultiResIters must be ≥ 0, got %d", o.MultiResIters)
+	case o.IterOffset < 0:
+		return fmt.Errorf("core: IterOffset must be ≥ 0, got %d", o.IterOffset)
 	}
 	return nil
 }
@@ -406,15 +435,22 @@ func (o *Optimizer) Run() (*Result, error) {
 // the supplied warm start), ψ₀ = signed distance of M₀.
 func (o *Optimizer) start() error {
 	n := o.sim.GridSize()
-	init := o.target
-	if o.opts.InitialMask != nil {
+	switch {
+	case o.opts.InitialPsi != nil:
+		if o.opts.InitialPsi.W != n || o.opts.InitialPsi.H != n {
+			return fmt.Errorf("%w: initial psi %dx%d, grid %d",
+				ErrShapeMismatch, o.opts.InitialPsi.W, o.opts.InitialPsi.H, n)
+		}
+		o.psi = o.opts.InitialPsi.Clone()
+	case o.opts.InitialMask != nil:
 		if o.opts.InitialMask.W != n || o.opts.InitialMask.H != n {
 			return fmt.Errorf("%w: initial mask %dx%d, grid %d",
 				ErrShapeMismatch, o.opts.InitialMask.W, o.opts.InitialMask.H, n)
 		}
-		init = o.opts.InitialMask
+		o.psi = levelset.SignedDistance(o.opts.InitialMask)
+	default:
+		o.psi = levelset.SignedDistance(o.target)
 	}
-	o.psi = levelset.SignedDistance(init)
 	o.res = &Result{History: make([]IterStats, 0, o.opts.MaxIter)}
 	o.lambdaT = o.opts.LambdaT
 	o.bestCost = math.Inf(1)
@@ -434,6 +470,7 @@ var lineSearchFactors = [3]float64{0.5, 1, 2}
 func (o *Optimizer) step(i int) (stop bool) {
 	stepStart := time.Now()
 	res := o.res
+	gi := i + o.opts.IterOffset // globally reported iteration number
 	// Lines 7–8: extract mask, simulate, accumulate gradient.
 	levelset.MaskFromPsi(o.mask, o.psi)
 	o.sim.MaskSpectrumInto(o.maskSpec, o.mask)
@@ -527,7 +564,7 @@ func (o *Optimizer) step(i int) (stop bool) {
 	maxV := o.velocity.MaxAbs()
 	dt := levelset.TimeStep(o.lambdaT, o.velocity)
 	res.History = append(res.History, IterStats{
-		Iter:        i,
+		Iter:        gi,
 		CostNominal: costNom,
 		CostPVB:     costPVB,
 		CostTotal:   costTotal,
@@ -546,7 +583,7 @@ func (o *Optimizer) step(i int) (stop bool) {
 			Type:        obs.EventIteration,
 			Trace:       o.opts.TraceID,
 			Engine:      o.sim.Engine().Name(),
-			Iter:        i,
+			Iter:        gi,
 			Cost:        costTotal,
 			CostNominal: costNom,
 			CostPVB:     costPVB,
@@ -558,7 +595,7 @@ func (o *Optimizer) step(i int) (stop bool) {
 		})
 	}
 	if o.opts.SnapshotEvery > 0 && i%o.opts.SnapshotEvery == 0 {
-		res.Snapshots = append(res.Snapshots, Snapshot{Iter: i, Mask: o.mask.Clone()})
+		res.Snapshots = append(res.Snapshots, Snapshot{Iter: gi, Mask: o.mask.Clone()})
 	}
 
 	res.Iterations = i + 1
@@ -566,7 +603,7 @@ func (o *Optimizer) step(i int) (stop bool) {
 	// run in the same iteration when the policy demands an abort, so a
 	// NaN-poisoned or diverging run cannot burn its remaining budget.
 	if o.watchdog != nil {
-		if v := o.watchdog.Observe(i, costTotal, gradNorm, dt); v.Abort {
+		if v := o.watchdog.Observe(gi, costTotal, gradNorm, dt); v.Abort {
 			res.Aborted = true
 			res.AbortReason = v.Reason
 			return true

@@ -1,0 +1,188 @@
+// Coarse-to-fine evolution: the schedule behind Options.MultiResFactor.
+//
+// The level-set contour's large-scale motion — pulling edges onto the
+// target, growing assist lobes — happens in the first iterations, where
+// per-pixel detail contributes nothing but cost. Running those
+// iterations on a 2×/4×-downsampled grid makes each of them ~factor²
+// cheaper: the SOCS kernel banks truncate exactly to the coarse
+// configuration (the spectral bin width 1/(GridSize·PixelNM) is
+// invariant under the (N/k, pitch·k) exchange, see optics.Bank.Coarse),
+// so the coarse forward model is the genuine physical model at coarser
+// sampling, not an approximation of the fine one. Between levels ψ is
+// interpolated spectrally (levelset.UpsampleSpectral) and redistanced
+// with the fast-marching method, so the contour arrives at the next
+// level with its sub-pixel position intact and a clean signed-distance
+// profile around it.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/levelset"
+	"lsopc/internal/litho"
+	"lsopc/internal/obs"
+)
+
+// RunMultiResolution executes the coarse-to-fine schedule: Algorithm 1
+// on a MultiResFactor-downsampled grid first, halving the factor each
+// level, finishing at full resolution on sim itself. With
+// MultiResFactor ≤ 1 it is exactly New + Run (single resolution).
+//
+// Budget: each coarse level runs MultiResIters iterations (default
+// MaxIter/2 split evenly across the coarse levels); full resolution
+// gets the remainder of MaxIter. Histories are concatenated with
+// globally renumbered iterations, and each resolution hand-off emits a
+// typed level_switch trace event carrying the grid transition and the
+// interpolation + redistancing time.
+//
+// The simulator passed in stays caller-owned; coarse sessions are
+// created on truncated kernel banks (sharing sim's resource pool) and
+// released before the function returns.
+func RunMultiResolution(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MultiResFactor <= 1 {
+		return runLevel(sim, target, opts)
+	}
+	n := sim.GridSize()
+	if target.W != n || target.H != n {
+		return nil, fmt.Errorf("%w: target %dx%d, grid %d", ErrShapeMismatch, target.W, target.H, n)
+	}
+
+	// Iteration budget across the schedule.
+	numCoarse := 0
+	for f := opts.MultiResFactor; f > 1; f /= 2 {
+		numCoarse++
+	}
+	perCoarse := opts.MultiResIters
+	if perCoarse == 0 {
+		perCoarse = opts.MaxIter / (2 * numCoarse)
+	}
+	if perCoarse < 1 {
+		perCoarse = 1
+	}
+	fineIters := opts.MaxIter - numCoarse*perCoarse
+	if fineIters < 1 {
+		fineIters = 1
+	}
+
+	total := &Result{}
+	var psi *grid.Field // hand-off ψ, already at the next level's resolution
+	globalIter := 0
+
+	for f := opts.MultiResFactor; f > 1; f /= 2 {
+		cres, err := sim.Resources().Coarse(f)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := sim.Config()
+		ccfg.Optics = cres.Optics()
+		csim, err := litho.NewSession(cres, ccfg, sim.Engine())
+		if err != nil {
+			return nil, err
+		}
+
+		// The coarse target is the box-averaged design re-binarised at
+		// half coverage — the same pattern at the coarse pitch.
+		ctarget := target.Downsample(f)
+		ctarget.Binarize(ctarget)
+
+		lopts := opts
+		lopts.MaxIter = perCoarse
+		lopts.IterOffset = globalIter
+		lopts.InitialPsi = psi
+		lopts.InitialMask = nil
+		// Hand the *last* ψ to the next level, not the best iterate:
+		// the schedule wants continuity of the evolving contour, and the
+		// best-so-far bookkeeping restarts at full resolution anyway.
+		lopts.KeepBest = false
+		lopts.SnapshotEvery = 0 // snapshots mix grid sizes; full-res only
+		lopts.CleanupTinyPx = 0 // manufacturability cleanup is final-mask-only
+
+		lres, err := runLevel(csim, ctarget, lopts)
+		csim.Release()
+		if err != nil {
+			return nil, err
+		}
+		appendHistory(total, lres, &globalIter)
+
+		if lres.Aborted {
+			// A poisoned coarse run must not feed the next level. Surface
+			// the abort with the state lifted to full resolution so the
+			// result shape matches the caller's grid.
+			total.Aborted = true
+			total.AbortReason = lres.AbortReason
+			total.Psi = upsampleTo(lres.Psi, f)
+			total.Mask = grid.NewField(n, n)
+			levelset.MaskFromPsi(total.Mask, total.Psi)
+			return total, nil
+		}
+
+		// Hand-off: spectral upsample to the next level's grid, then
+		// redistance so the new level starts from a signed distance
+		// function at its own pixel pitch.
+		interpStart := time.Now()
+		psi = levelset.ReinitializeFMM(levelset.UpsampleSpectral(lres.Psi, 2))
+		if opts.Sink != nil {
+			opts.Sink.Emit(obs.Event{
+				Type:   obs.EventLevelSwitch,
+				Trace:  opts.TraceID,
+				Engine: sim.Engine().Name(),
+				Iter:   globalIter,
+				OldN:   lres.Psi.W,
+				N:      psi.W,
+				DurNS:  time.Since(interpStart).Nanoseconds(),
+			})
+		}
+	}
+
+	// Full-resolution refinement on the caller's simulator.
+	fopts := opts
+	fopts.MaxIter = fineIters
+	fopts.IterOffset = globalIter
+	fopts.InitialPsi = psi
+	fopts.InitialMask = nil
+	fres, err := runLevel(sim, target, fopts)
+	if err != nil {
+		return nil, err
+	}
+	appendHistory(total, fres, &globalIter)
+	total.Mask = fres.Mask
+	total.Psi = fres.Psi
+	total.Converged = fres.Converged
+	total.Aborted = fres.Aborted
+	total.AbortReason = fres.AbortReason
+	total.Snapshots = fres.Snapshots
+	return total, nil
+}
+
+// runLevel runs one single-resolution optimization (New + Run + Release).
+func runLevel(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
+	o, err := New(sim, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer o.Release()
+	return o.Run()
+}
+
+// appendHistory merges one level's history into the schedule-wide
+// result (the level already reported global iteration numbers via
+// Options.IterOffset) and advances the global iteration counter.
+func appendHistory(total *Result, level *Result, globalIter *int) {
+	total.History = append(total.History, level.History...)
+	*globalIter += level.Iterations
+	total.Iterations = *globalIter
+}
+
+// upsampleTo lifts ψ by the given total factor (repeated 2× spectral
+// interpolation + redistancing).
+func upsampleTo(psi *grid.Field, factor int) *grid.Field {
+	for ; factor > 1; factor /= 2 {
+		psi = levelset.ReinitializeFMM(levelset.UpsampleSpectral(psi, 2))
+	}
+	return psi
+}

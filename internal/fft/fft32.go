@@ -1,0 +1,138 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/obs"
+)
+
+// Plan32 is the complex64 twin of Plan: the same iterative radix-2
+// network with twiddles rounded once to float32 at construction. It
+// backs the opt-in reduced-precision forward-model path, where the field
+// batches dominate memory bandwidth and 32-bit storage halves the bytes
+// every butterfly moves. A Plan32 is immutable after creation and safe
+// for concurrent use.
+type Plan32 struct {
+	n    int
+	perm []int32
+	w    []complex64 // forward twiddles e^{-2πik/n}, k ∈ [0, n/2)
+	winv []complex64 // inverse twiddles e^{+2πik/n}
+}
+
+// NewPlan32 creates a float32 transform plan for length n. It panics
+// unless n is a positive power of two.
+func NewPlan32(n int) *Plan32 {
+	if !grid.IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	p := &Plan32{n: n}
+	p.perm = make([]int32, n)
+	shift := 0
+	for 1<<shift < n {
+		shift++
+	}
+	for i := 0; i < n; i++ {
+		p.perm[i] = int32(reverseBits(uint32(i), shift))
+	}
+	half := n / 2
+	if half == 0 {
+		half = 1
+	}
+	p.w = make([]complex64, half)
+	p.winv = make([]complex64, half)
+	for k := 0; k < half; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.w[k] = complex(float32(c), float32(s))
+		p.winv[k] = complex(float32(c), float32(-s))
+	}
+	return p
+}
+
+// N returns the transform length.
+func (p *Plan32) N() int { return p.n }
+
+// Forward computes the in-place unnormalised DFT of x.
+// It panics if len(x) differs from the plan length.
+func (p *Plan32) Forward(x []complex64) { p.transform(x, p.w) }
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n
+// normalisation, so Inverse∘Forward is the identity up to float32
+// rounding.
+func (p *Plan32) Inverse(x []complex64) {
+	p.transform(x, p.winv)
+	inv := complex(1/float32(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// transform runs the iterative radix-2 Cooley–Tukey butterfly network
+// using the supplied twiddle table (forward or inverse).
+func (p *Plan32) transform(x []complex64, tw []complex64) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), n))
+	}
+	for i, pi := range p.perm {
+		if j := int(pi); i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for base := 0; base < n; base += size {
+			k := 0
+			for j := base; j < base+half; j++ {
+				w := tw[k]
+				t := w * x[j+half]
+				u := x[j]
+				x[j] = u + t
+				x[j+half] = u - t
+				k += step
+			}
+		}
+	}
+}
+
+// tracePlanCache32 reports one float32 plan-cache lookup to the runtime
+// trace sink.
+func tracePlanCache32(n int, hit bool) {
+	if s := obs.Runtime(); s != nil {
+		s.Emit(obs.Event{Type: obs.EventPlanCache, Name: "plan1d_f32", N: n, Hit: hit})
+	}
+}
+
+// planCache32 is the shared float32 plan cache, keyed by length.
+var planCache32 = struct {
+	sync.RWMutex
+	m map[int]*Plan32
+}{m: make(map[int]*Plan32)}
+
+// CachedPlan32 returns a shared float32 plan for length n, creating it
+// on first use. Safe for concurrent use (see CachedPlan).
+func CachedPlan32(n int) *Plan32 {
+	planCache32.RLock()
+	p := planCache32.m[n]
+	planCache32.RUnlock()
+	if p != nil {
+		mPlanHits.Inc()
+		tracePlanCache32(n, true)
+		return p
+	}
+	planCache32.Lock()
+	defer planCache32.Unlock()
+	if p, ok := planCache32.m[n]; ok {
+		mPlanHits.Inc()
+		tracePlanCache32(n, true)
+		return p
+	}
+	p = NewPlan32(n)
+	planCache32.m[n] = p
+	mPlanMisses.Inc()
+	tracePlanCache32(n, false)
+	return p
+}

@@ -1,0 +1,85 @@
+package grid
+
+import "fmt"
+
+// CField32 is the reduced-precision twin of CField: a dense 2-D array of
+// complex64 in row-major order, used by the opt-in float32 spectral fast
+// path. Only the per-kernel coherent-field batches — the
+// bandwidth-bound bulk of the SOCS forward model — are held at 32-bit
+// precision; kernel coefficients, reductions and gradients stay
+// float64, so conversion happens exactly once on each side of the
+// batched transforms.
+type CField32 struct {
+	W, H int
+	Data []complex64
+}
+
+// NewCField32 allocates a zero-initialised w×h complex64 field.
+func NewCField32(w, h int) *CField32 {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid cfield32 size %dx%d", w, h))
+	}
+	return &CField32{W: w, H: h, Data: make([]complex64, w*h)}
+}
+
+// Reshape reinterprets the field's backing storage as w×h. The element
+// count must match the current storage exactly (see Field.Reshape).
+func (c *CField32) Reshape(w, h int) {
+	if w <= 0 || h <= 0 || w*h != len(c.Data) {
+		panic(fmt.Sprintf("grid: Reshape %dx%d does not match storage %d", w, h, len(c.Data)))
+	}
+	c.W, c.H = w, h
+}
+
+// At returns the value at column x, row y.
+func (c *CField32) At(x, y int) complex64 { return c.Data[y*c.W+x] }
+
+// Set stores v at column x, row y.
+func (c *CField32) Set(x, y int, v complex64) { c.Data[y*c.W+x] = v }
+
+// Row returns row y aliasing the field's storage.
+func (c *CField32) Row(y int) []complex64 { return c.Data[y*c.W : (y+1)*c.W] }
+
+// SameShape reports whether c and g have identical dimensions.
+func (c *CField32) SameShape(g *CField32) bool { return c.W == g.W && c.H == g.H }
+
+// Zero sets every element to 0.
+func (c *CField32) Zero() {
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+}
+
+// SetFrom rounds the complex128 field g down into c. Shapes must match.
+func (c *CField32) SetFrom(g *CField) {
+	if c.W != g.W || c.H != g.H {
+		panic(fmt.Sprintf("grid: SetFrom: shape mismatch %dx%d vs %dx%d", c.W, c.H, g.W, g.H))
+	}
+	for i, v := range g.Data {
+		c.Data[i] = complex(float32(real(v)), float32(imag(v)))
+	}
+}
+
+// Widen writes c into the complex128 field g exactly (float32 values
+// embed losslessly in float64). Shapes must match.
+func (c *CField32) Widen(g *CField) {
+	if c.W != g.W || c.H != g.H {
+		panic(fmt.Sprintf("grid: Widen: shape mismatch %dx%d vs %dx%d", c.W, c.H, g.W, g.H))
+	}
+	for i, v := range c.Data {
+		g.Data[i] = complex(float64(real(v)), float64(imag(v)))
+	}
+}
+
+// AccumAbsSq adds w·|c|² element-wise into f, accumulating in float64 so
+// the SOCS intensity sum (Eq. 1) keeps double-precision reduction even
+// on the float32 path.
+func (c *CField32) AccumAbsSq(f *Field, w float64) {
+	if c.W != f.W || c.H != f.H {
+		panic(fmt.Sprintf("grid: AccumAbsSq: shape mismatch %dx%d vs %dx%d", c.W, c.H, f.W, f.H))
+	}
+	for i, v := range c.Data {
+		re, im := float64(real(v)), float64(imag(v))
+		f.Data[i] += w * (re*re + im*im)
+	}
+}

@@ -1,0 +1,73 @@
+package levelset
+
+import (
+	"math"
+	"testing"
+
+	"lsopc/internal/grid"
+)
+
+func TestUpsampleSpectralFactor1IsClone(t *testing.T) {
+	f := grid.NewField(8, 8)
+	for i := range f.Data {
+		f.Data[i] = float64(i)
+	}
+	g := UpsampleSpectral(f, 1)
+	if g == f {
+		t.Fatal("factor 1 must return a copy, not the input")
+	}
+	for i := range f.Data {
+		if g.Data[i] != f.Data[i] {
+			t.Fatalf("clone differs at %d", i)
+		}
+	}
+}
+
+func TestUpsampleSpectralConstant(t *testing.T) {
+	const c = 3.25
+	f := grid.NewField(16, 16)
+	f.Fill(c)
+	g := UpsampleSpectral(f, 4)
+	if g.W != 64 || g.H != 64 {
+		t.Fatalf("upsampled shape %dx%d, want 64x64", g.W, g.H)
+	}
+	for i, v := range g.Data {
+		if math.Abs(v-c) > 1e-12 {
+			t.Fatalf("pixel %d = %g, want %g (constant must survive)", i, v, c)
+		}
+	}
+}
+
+// TestUpsampleSpectralBandlimitedExact: for a signal band-limited below
+// the coarse Nyquist frequency, zero-padded spectral interpolation is
+// the exact sampling of the same continuous signal on the fine grid.
+func TestUpsampleSpectralBandlimitedExact(t *testing.T) {
+	const n = 32
+	wave := func(u, v float64) float64 {
+		return math.Sin(2*math.Pi*3*u) * math.Cos(2*math.Pi*5*v)
+	}
+	coarse := grid.NewField(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			coarse.Set(x, y, wave(float64(x)/n, float64(y)/n))
+		}
+	}
+	fine := UpsampleSpectral(coarse, 2)
+	for y := 0; y < 2*n; y++ {
+		for x := 0; x < 2*n; x++ {
+			want := wave(float64(x)/(2*n), float64(y)/(2*n))
+			if got := fine.At(x, y); math.Abs(got-want) > 1e-10 {
+				t.Fatalf("(%d,%d) = %g, want %g", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestUpsampleSpectralRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor 3 did not panic")
+		}
+	}()
+	UpsampleSpectral(grid.NewField(8, 8), 3)
+}

@@ -14,11 +14,16 @@ import (
 // for memory.
 const retainLimitBytes = 256 << 20
 
-// canRetain reports whether the per-kernel field batch fits the budget.
+// canRetain reports whether the per-kernel field batch fits the budget
+// at the session's precision (complex64 batches cost half the bytes).
 func (s *Simulator) canRetain() bool {
 	n := s.GridSize()
 	k := s.cfg.Optics.Kernels
-	return k*n*n*16 <= retainLimitBytes
+	elem := 16
+	if s.f32() {
+		elem = 8
+	}
+	return k*n*n*elem <= retainLimitBytes
 }
 
 // retained returns the per-kernel field batch, leasing fields from the
@@ -29,6 +34,15 @@ func (s *Simulator) retained(k int) []*grid.CField {
 		s.fields = append(s.fields, s.pool.CField(n, n))
 	}
 	return s.fields[:k]
+}
+
+// retained32 is retained for the float32 batch.
+func (s *Simulator) retained32(k int) []*grid.CField32 {
+	n := s.GridSize()
+	for len(s.fields32) < k {
+		s.fields32 = append(s.fields32, s.pool.CField32(n, n))
+	}
+	return s.fields32[:k]
 }
 
 // ForwardAndGradient runs the exact forward model at one corner and
@@ -58,9 +72,14 @@ func (s *Simulator) ForwardAndGradient(grad *grid.Field, maskSpec *grid.CField, 
 	// Pass 2: adjoint accumulation in the frequency domain, reusing the
 	// batched E_k when retained.
 	s.sensitivity(s.sens, out.R, target, dose)
-	if retain {
+	switch {
+	case retain && s.f32():
+		s.adjointFromFields32(s.retained32(len(bank.Kernels)), bank, s.sens)
+	case retain:
 		s.adjointFromFields(s.retained(len(bank.Kernels)), bank, s.sens)
-	} else {
+	case s.f32():
+		s.adjointStreaming32(bank, maskSpec, s.sens)
+	default:
 		s.adjointStreaming(bank, maskSpec, s.sens)
 	}
 	s.applyGradient(grad, weight)

@@ -1,0 +1,183 @@
+package litho
+
+import (
+	"fmt"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/optics"
+)
+
+// Precision selects the arithmetic of the per-kernel coherent-field
+// batches — the K full-grid fields that dominate the forward model's
+// memory traffic.
+//
+// Float64 (the default) is the bit-exact reference path: nothing in it
+// changes when Float32 exists, so it doubles as the verification mode.
+// Float32 halves the bytes moved by the batched FFTs and spectral
+// multiplies. Precision is dropped only on the batch itself: the mask
+// spectrum, kernel coefficients, SOCS intensity reduction, resist
+// sensitivity and gradient accumulation all stay float64, so each value
+// is rounded exactly once on entry to the batch and once on exit. The
+// resulting aerial-image error is at the level of the float32 transform
+// rounding (~1e-6 relative on contest-scale grids), far below the
+// resist threshold's sensitivity; the precision-equivalence tests pin
+// the tolerance.
+//
+// The fused-kernel approximation (AerialFast) always runs float64 — it
+// is a single-field path with no bandwidth problem to solve.
+type Precision int
+
+const (
+	// Float64 runs the forward model entirely in complex128.
+	Float64 Precision = iota
+	// Float32 runs the per-kernel field batches in complex64.
+	Float32
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision maps a flag value ("float64"/"f64"/"float32"/"f32") to
+// a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "float64", "f64", "64":
+		return Float64, nil
+	case "float32", "f32", "32":
+		return Float32, nil
+	default:
+		return Float64, fmt.Errorf("litho: unknown precision %q (want float64 or float32)", s)
+	}
+}
+
+// f32 reports whether this session runs the reduced-precision batch
+// path.
+func (s *Simulator) f32() bool { return s.cfg.Precision == Float32 }
+
+// Precision returns the session's batch arithmetic.
+func (s *Simulator) Precision() Precision { return s.cfg.Precision }
+
+// bindBodies32 creates the float32-path engine bodies (see bindBodies).
+func (s *Simulator) bindBodies32() {
+	s.materializeBody32 = func(lo, hi int) {
+		fields, kernels, spec := s.opFields32, s.opBank.Kernels, s.opSpec
+		for k := lo; k < hi; k++ {
+			kernels[k].MulIntoBand32(fields[k], spec)
+		}
+	}
+	s.reduceBody32 = func(lo, hi int) {
+		fields, kernels := s.opFields32, s.opBank.Kernels
+		d := s.opDst.Data[lo:hi]
+		for i := range d {
+			d[i] = 0
+		}
+		for ki := range fields {
+			w := kernels[ki].Weight
+			f := fields[ki].Data[lo:hi]
+			for i, v := range f {
+				re, im := float64(real(v)), float64(imag(v))
+				d[i] += w * (re*re + im*im)
+			}
+		}
+	}
+	s.adjointBody32 = func(lo, hi int) {
+		fields, w := s.opFields32, s.opW
+		nn := len(w.Data)
+		for i := lo; i < hi; {
+			ki, j := i/nn, i%nn
+			end := (ki + 1) * nn
+			if end > hi {
+				end = hi
+			}
+			data := fields[ki].Data
+			for ; i < end; i, j = i+1, j+1 {
+				e := data[j]
+				wf := float32(w.Data[j])
+				data[j] = complex(wf*real(e), -wf*imag(e))
+			}
+		}
+	}
+	s.ampBody32 = func(lo, hi int) {
+		w := s.opW
+		for i := lo; i < hi; i++ {
+			e := s.field32.Data[i]
+			wf := float32(w.Data[i])
+			s.ampSpec32.Data[i] = complex(wf*real(e), -wf*imag(e))
+		}
+	}
+}
+
+// inverseBanded32 runs the band-limited batched inverse on a single
+// complex64 field.
+func (s *Simulator) inverseBanded32(c *grid.CField32, band int) {
+	s.single32[0] = c
+	s.batch32.BatchInverseBanded(s.single32[:], band)
+}
+
+// materialize32 fills fields[k] with round32(spec_k ∘ M̂) per kernel.
+func (s *Simulator) materialize32(fields []*grid.CField32, bank *optics.Bank, maskSpec *grid.CField) {
+	s.opFields32, s.opBank, s.opSpec = fields, bank, maskSpec
+	s.eng.ForChunk(len(bank.Kernels), s.materializeBody32)
+	s.opFields32, s.opSpec = nil, nil
+}
+
+// reduceAbsSq32 reduces dst = Σ_k μ_k |E_k|² over the complex64 batch,
+// accumulating in float64 (same pixel partition and kernel order as
+// reduceAbsSq).
+func (s *Simulator) reduceAbsSq32(dst *grid.Field, fields []*grid.CField32, bank *optics.Bank) {
+	s.opDst, s.opFields32, s.opBank = dst, fields, bank
+	s.eng.ForChunk(len(dst.Data), s.reduceBody32)
+	s.opDst, s.opFields32 = nil, nil
+}
+
+// aerialStreaming32 is the low-memory float32 SOCS fallback.
+func (s *Simulator) aerialStreaming32(dst *grid.Field, bank *optics.Bank, maskSpec *grid.CField) {
+	dst.Zero()
+	for _, k := range bank.Kernels {
+		k.MulIntoBand32(s.field32, maskSpec)
+		s.inverseBanded32(s.field32, k.R)
+		s.field32.AccumAbsSq(dst, k.Weight)
+	}
+}
+
+// adjointFromFields32 is the float32 twin of adjointFromFields: the
+// retained complex64 fields become W ⊙ conj(E_k) in place, one batched
+// output-pruned float32 forward FFT produces the amplitude spectra, and
+// the flip-multiplies widen back into the float64 accumulator, whose
+// final inverse transform runs on the float64 plan.
+func (s *Simulator) adjointFromFields32(fields []*grid.CField32, bank *optics.Bank, w *grid.Field) {
+	s.opFields32, s.opW = fields, w
+	s.eng.ForChunk(len(fields)*len(w.Data), s.adjointBody32)
+	s.opFields32, s.opW = nil, nil
+	s.batch32.BatchForwardBandedCols(fields, bank.Radius())
+	s.zeroAccumBand(bank.Radius())
+	for ki, k := range bank.Kernels {
+		k.AccumFlipMul32(s.accum, fields[ki], complex(k.Weight, 0))
+	}
+	s.inverseBanded(s.accum, bank.Radius())
+}
+
+// adjointStreaming32 is the low-memory float32 adjoint.
+func (s *Simulator) adjointStreaming32(bank *optics.Bank, maskSpec *grid.CField, w *grid.Field) {
+	s.zeroAccumBand(bank.Radius())
+	for _, k := range bank.Kernels {
+		k.MulIntoBand32(s.field32, maskSpec)
+		s.inverseBanded32(s.field32, k.R)
+		s.opW = w
+		s.eng.ForChunk(len(s.ampSpec32.Data), s.ampBody32)
+		s.opW = nil
+		s.single32[0] = s.ampSpec32
+		s.batch32.BatchForwardBandedCols(s.single32[:], k.R)
+		k.AccumFlipMul32(s.accum, s.ampSpec32, complex(k.Weight, 0))
+	}
+	s.inverseBanded(s.accum, bank.Radius())
+}

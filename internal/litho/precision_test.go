@@ -1,0 +1,215 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"lsopc/internal/engine"
+	"lsopc/internal/geom"
+	"lsopc/internal/grid"
+	"lsopc/internal/layouts"
+)
+
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"float64", Float64, true},
+		{"f64", Float64, true},
+		{"64", Float64, true},
+		{"float32", Float32, true},
+		{"f32", Float32, true},
+		{"32", Float32, true},
+		{"half", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParsePrecision(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if Float64.String() != "float64" || Float32.String() != "float32" {
+		t.Errorf("Precision strings: %q, %q", Float64, Float32)
+	}
+	bad := DefaultConfig(64, 32)
+	bad.Precision = Precision(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted an unknown precision")
+	}
+}
+
+// precisionSims builds a float64 and a float32 session over one
+// configuration.
+func precisionSims(t *testing.T, eng *engine.Engine, gridSize int, pixelNM float64, kernels int) (f64, f32 *Simulator) {
+	t.Helper()
+	cfg := DefaultConfig(gridSize, pixelNM)
+	cfg.Optics.Kernels = kernels
+	s64, err := NewSimulator(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Precision = Float32
+	s32, err := NewSimulator(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s64, s32
+}
+
+// relErr returns ‖a−b‖ / ‖a‖ (0 when both are zero).
+func relErr(a, b *grid.Field) float64 {
+	var num, den float64
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		num += d * d
+		den += a.Data[i] * a.Data[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestFloat32MatchesFloat64OnClips is the precision-equivalence
+// contract on real ICCAD clips: the float32 batch path must reproduce
+// the float64 aerial image, cost and gradient within float32 rounding
+// (~1e-6 relative; the tolerances below leave headroom for transform
+// error growth), at every process corner, on both the retained and the
+// streaming execution strategy.
+func TestFloat32MatchesFloat64OnClips(t *testing.T) {
+	const n, pitch, kernels = 128, 16, 4
+	eng := engine.New("gpu-test", 3)
+	s64, s32 := precisionSims(t, eng, n, pitch, kernels)
+	if s64.Precision() != Float64 || s32.Precision() != Float32 {
+		t.Fatalf("session precisions = %v, %v", s64.Precision(), s32.Precision())
+	}
+
+	for _, id := range []string{"B1", "B4", "B10"} {
+		spec, err := layouts.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target, err := geom.Rasterize(spec.MustBuild(), pitch)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		maskSpec := grid.NewCField(n, n)
+		s64.MaskSpectrumInto(maskSpec, target)
+
+		for _, cond := range AllConditions {
+			a64 := grid.NewField(n, n)
+			a32 := grid.NewField(n, n)
+			s64.Aerial(a64, maskSpec, cond)
+			s32.Aerial(a32, maskSpec, cond)
+			if e := relErr(a64, a32); e > 1e-5 {
+				t.Errorf("%s %v aerial: relative error %.3g > 1e-5", id, cond, e)
+			}
+
+			g64 := grid.NewField(n, n)
+			g32 := grid.NewField(n, n)
+			out64, out32 := NewCornerImages(n), NewCornerImages(n)
+			c64 := s64.ForwardAndGradient(g64, maskSpec, cond, target, out64, 1)
+			c32 := s32.ForwardAndGradient(g32, maskSpec, cond, target, out32, 1)
+			if rel := math.Abs(c64-c32) / math.Max(c64, 1e-12); rel > 1e-5 {
+				t.Errorf("%s %v cost: %.9g vs %.9g (rel %.3g)", id, cond, c64, c32, rel)
+			}
+			if e := relErr(g64, g32); e > 1e-4 {
+				t.Errorf("%s %v gradient: relative error %.3g > 1e-4", id, cond, e)
+			}
+		}
+	}
+}
+
+// TestFloat32RetainedMatchesStreamingBitwise pins the float32 twin of
+// the retained-vs-streaming contract: both f32 strategies run the same
+// rounding at the same points, so they must agree bit-for-bit.
+func TestFloat32RetainedMatchesStreamingBitwise(t *testing.T) {
+	const n, kernels = 64, 4
+	eng := engine.New("gpu-test", 3)
+	mask := randomMask(n, 7)
+	target := randomMask(n, 8)
+
+	cfg := DefaultConfig(64, 32)
+	cfg.Optics.Kernels = kernels
+	cfg.Precision = Float32
+	s, err := NewSimulator(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.canRetain() {
+		t.Fatalf("test grid unexpectedly exceeds the retain budget")
+	}
+	spec := grid.NewCField(n, n)
+	s.MaskSpectrumInto(spec, mask)
+	bank := s.Bank(Nominal)
+
+	// Batched f32 aerial + adjoint.
+	aerialB := grid.NewField(n, n)
+	s.aerialInto(aerialB, bank, spec)
+	gradB := grid.NewField(n, n)
+	s.sensitivity(s.sens, aerialB, target, 1)
+	s.adjointFromFields32(s.retained32(len(bank.Kernels)), bank, s.sens)
+	s.applyGradient(gradB, 1)
+
+	// Streaming f32 aerial + adjoint on a sibling session.
+	s2, err := s.Sibling(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Precision() != Float32 {
+		t.Fatalf("sibling lost the precision: %v", s2.Precision())
+	}
+	aerialS := grid.NewField(n, n)
+	s2.aerialStreaming32(aerialS, bank, spec)
+	gradS := grid.NewField(n, n)
+	s2.sensitivity(s2.sens, aerialS, target, 1)
+	s2.adjointStreaming32(bank, spec, s2.sens)
+	s2.applyGradient(gradS, 1)
+
+	fieldsEqual(t, "f32 retained vs streaming aerial", aerialB, aerialS)
+	fieldsEqual(t, "f32 retained vs streaming gradient", gradB, gradS)
+}
+
+// TestFloat32EngineEquivalence extends the determinism contract to the
+// float32 path: worker count must not change a single bit.
+func TestFloat32EngineEquivalence(t *testing.T) {
+	const n, kernels = 64, 4
+	mask := randomMask(n, 42)
+	target := randomMask(n, 99)
+
+	run := func(eng *engine.Engine) (*grid.Field, *grid.Field, float64) {
+		cfg := DefaultConfig(64, 32)
+		cfg.Optics.Kernels = kernels
+		cfg.Precision = Float32
+		s, err := NewSimulator(cfg, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := grid.NewCField(n, n)
+		s.MaskSpectrumInto(spec, mask)
+		aerial := grid.NewField(n, n)
+		s.Aerial(aerial, spec, Nominal)
+		grad := grid.NewField(n, n)
+		out := NewCornerImages(n)
+		cost := s.ForwardAndGradient(grad, spec, Inner, target, out, 0.7)
+		return aerial, grad, cost
+	}
+
+	refAerial, refGrad, refCost := run(engine.CPU())
+	for _, workers := range []int{2, 3, 8} {
+		eng := engine.New("gpu-test", workers)
+		aerial, grad, cost := run(eng)
+		fieldsEqual(t, eng.String()+" f32 aerial", aerial, refAerial)
+		fieldsEqual(t, eng.String()+" f32 gradient", grad, refGrad)
+		if cost != refCost {
+			t.Fatalf("%s f32 cost = %v vs %v", eng.String(), cost, refCost)
+		}
+	}
+}

@@ -91,14 +91,36 @@ type HealthEvent struct {
 	Cost   float64 `json:"cost"`
 }
 
+// LevelSegment is one resolution level of a coarse-to-fine run: the
+// contiguous slice of the session's iterations executed at one grid
+// size, with its own convergence summary and iteration-latency
+// percentiles. InterpNS is the ψ/θ interpolation + redistancing time
+// spent leaving this level (0 for the final, full-resolution level).
+type LevelSegment struct {
+	GridN       int         `json:"grid_n"`
+	StartIter   int         `json:"start_iter"`
+	Iterations  int         `json:"iterations"`
+	InterpNS    int64       `json:"interp_ns,omitempty"`
+	Convergence Convergence `json:"convergence"`
+	MeanIterNS  float64     `json:"mean_iter_ns,omitempty"`
+	P50IterNS   float64     `json:"p50_iter_ns,omitempty"`
+	P95IterNS   float64     `json:"p95_iter_ns,omitempty"`
+	P99IterNS   float64     `json:"p99_iter_ns,omitempty"`
+}
+
 // Session is the reconstructed view of one traced session (one trace
 // id): its iteration series, convergence summary and health verdicts.
+// Levels is populated when the session contains level_switch events
+// (coarse-to-fine runs), one segment per resolution in schedule order.
 type Session struct {
-	ID          string        `json:"id"`
-	Engine      string        `json:"engine,omitempty"`
-	Iterations  []IterPoint   `json:"iterations,omitempty"`
-	Convergence Convergence   `json:"convergence"`
-	Health      []HealthEvent `json:"health,omitempty"`
+	ID          string         `json:"id"`
+	Engine      string         `json:"engine,omitempty"`
+	Iterations  []IterPoint    `json:"iterations,omitempty"`
+	Convergence Convergence    `json:"convergence"`
+	Levels      []LevelSegment `json:"levels,omitempty"`
+	Health      []HealthEvent  `json:"health,omitempty"`
+
+	switches []obs.Event // level_switch events, in emission order
 }
 
 // PhaseStats aggregates the durations of one phase: a span name
@@ -153,6 +175,11 @@ type Run struct {
 	Health []obs.Event `json:"health,omitempty"`
 
 	phaseIdx map[string]int
+	// levelDurs buffers per-grid-size corner samples ("corner:…@128");
+	// they become phases in finalize only when the trace contains
+	// level_switch events, so single-resolution traces keep their
+	// existing phase table.
+	levelDurs map[string][]int64
 }
 
 // SessionIDs returns the session keys in sorted order (the runtime
@@ -201,9 +228,10 @@ func Parse(in io.Reader, th Thresholds) (*Run, error) {
 		th = DefaultThresholds()
 	}
 	run := &Run{
-		ByType:   map[string]int{},
-		Sessions: map[string]*Session{},
-		phaseIdx: map[string]int{},
+		ByType:    map[string]int{},
+		Sessions:  map[string]*Session{},
+		phaseIdx:  map[string]int{},
+		levelDurs: map[string][]int64{},
 	}
 	var firstNS, lastNS int64
 	sc := bufio.NewScanner(in)
@@ -244,6 +272,14 @@ func Parse(in io.Reader, th Thresholds) (*Run, error) {
 			run.observePhase("iteration", e.DurNS)
 		case obs.EventCorner:
 			run.observePhase("corner:"+e.Name+"/"+e.Corner, e.DurNS)
+			if e.N > 0 {
+				key := fmt.Sprintf("corner:%s/%s@%d", e.Name, e.Corner, e.N)
+				run.levelDurs[key] = append(run.levelDurs[key], e.DurNS)
+			}
+		case obs.EventLevelSwitch:
+			s := run.session(e.Trace, e.Engine)
+			s.switches = append(s.switches, e)
+			run.observePhase("level_switch", e.DurNS)
 		case obs.EventSpan:
 			run.session(e.Trace, e.Engine)
 			run.observePhase("span:"+e.Name, e.DurNS)
@@ -313,6 +349,22 @@ func (r *Run) observePhase(name string, durNS int64) {
 // finalize computes quantiles and convergence summaries and sorts the
 // phase table by total time (descending).
 func (r *Run) finalize(th Thresholds) {
+	// Multi-resolution runs get per-grid-size corner phases
+	// ("corner:forward_gradient/nominal@64") next to the aggregate ones,
+	// so latency percentiles can be compared across levels.
+	if r.ByType[obs.EventLevelSwitch] > 0 {
+		names := make([]string, 0, len(r.levelDurs))
+		for name := range r.levelDurs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, d := range r.levelDurs[name] {
+				r.observePhase(name, d)
+			}
+		}
+	}
+	r.levelDurs = nil
 	for i := range r.Phases {
 		p := &r.Phases[i]
 		sort.Slice(p.durs, func(a, b int) bool { return p.durs[a] < p.durs[b] })
@@ -329,7 +381,62 @@ func (r *Run) finalize(th Thresholds) {
 	}
 	for _, s := range r.Sessions {
 		s.Convergence = summarize(s.Iterations, th)
+		s.Levels = buildLevels(s, th)
+		s.switches = nil
 	}
+}
+
+// buildLevels slices a coarse-to-fine session's iteration series into
+// per-resolution segments at its level_switch boundaries (a switch at
+// global iteration i ends the level that ran iterations < i). Sessions
+// without switches return nil.
+func buildLevels(s *Session, th Thresholds) []LevelSegment {
+	if len(s.switches) == 0 {
+		return nil
+	}
+	sw := s.switches
+	segs := make([]LevelSegment, 0, len(sw)+1)
+	start := 0
+	for k := 0; k <= len(sw); k++ {
+		gridN, endIter, interpNS := 0, math.MaxInt, int64(0)
+		if k < len(sw) {
+			gridN, endIter, interpNS = sw[k].OldN, sw[k].Iter, sw[k].DurNS
+		} else {
+			gridN = sw[len(sw)-1].N
+		}
+		end := start
+		for end < len(s.Iterations) && s.Iterations[end].Iter < endIter {
+			end++
+		}
+		pts := s.Iterations[start:end]
+		seg := LevelSegment{
+			GridN:       gridN,
+			Iterations:  len(pts),
+			InterpNS:    interpNS,
+			Convergence: summarize(pts, th),
+		}
+		if len(pts) > 0 {
+			seg.StartIter = pts[0].Iter
+			durs := make([]int64, 0, len(pts))
+			var totalNS int64
+			for _, p := range pts {
+				if p.DurNS > 0 {
+					durs = append(durs, p.DurNS)
+					totalNS += p.DurNS
+				}
+			}
+			if len(durs) > 0 {
+				sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+				seg.MeanIterNS = float64(totalNS) / float64(len(durs))
+				seg.P50IterNS = percentile(durs, 0.50)
+				seg.P95IterNS = percentile(durs, 0.95)
+				seg.P99IterNS = percentile(durs, 0.99)
+			}
+		}
+		segs = append(segs, seg)
+		start = end
+	}
+	return segs
 }
 
 // percentile interpolates the q-quantile of ascending-sorted samples.

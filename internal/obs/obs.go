@@ -58,6 +58,10 @@ const (
 	// NaN/Inf cost or gradient, a stalled front, or cost divergence
 	// (see HealthPolicy). Msg carries the reason code.
 	EventHealth = "health"
+	// EventLevelSwitch is a multi-resolution level hand-off: OldN/N carry
+	// the old and new grid edges, Iter the global iteration at which the
+	// switch happened, and DurNS the φ interpolation + redistancing time.
+	EventLevelSwitch = "level_switch"
 )
 
 // Event is one structured trace record. It is a flat union of the
@@ -73,8 +77,9 @@ type Event struct {
 	Engine string `json:"engine,omitempty"`
 	Corner string `json:"corner,omitempty"`
 	Iter   int    `json:"iter,omitempty"`
-	N      int    `json:"n,omitempty"`   // plan length or pool elements
-	Hit    bool   `json:"hit,omitempty"` // cache/pool hit
+	N      int    `json:"n,omitempty"`     // plan length, pool elements or new grid edge
+	OldN   int    `json:"old_n,omitempty"` // previous grid edge (level_switch)
+	Hit    bool   `json:"hit,omitempty"`   // cache/pool hit
 	DurNS  int64  `json:"dur_ns,omitempty"`
 
 	Cost        float64 `json:"cost,omitempty"`
@@ -147,6 +152,7 @@ type eventJSON struct {
 	Corner string `json:"corner,omitempty"`
 	Iter   int    `json:"iter,omitempty"`
 	N      int    `json:"n,omitempty"`
+	OldN   int    `json:"old_n,omitempty"`
 	Hit    bool   `json:"hit,omitempty"`
 	DurNS  int64  `json:"dur_ns,omitempty"`
 
@@ -167,7 +173,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(eventJSON{
 		Type: e.Type, Seq: e.Seq, TimeNS: e.TimeNS, Trace: e.Trace,
 		Name: e.Name, Engine: e.Engine, Corner: e.Corner,
-		Iter: e.Iter, N: e.N, Hit: e.Hit, DurNS: e.DurNS,
+		Iter: e.Iter, N: e.N, OldN: e.OldN, Hit: e.Hit, DurNS: e.DurNS,
 		Cost:        traceFloat(e.Cost),
 		CostNominal: traceFloat(e.CostNominal),
 		CostPVB:     traceFloat(e.CostPVB),
@@ -188,7 +194,7 @@ func (e *Event) UnmarshalJSON(b []byte) error {
 	*e = Event{
 		Type: j.Type, Seq: j.Seq, TimeNS: j.TimeNS, Trace: j.Trace,
 		Name: j.Name, Engine: j.Engine, Corner: j.Corner,
-		Iter: j.Iter, N: j.N, Hit: j.Hit, DurNS: j.DurNS,
+		Iter: j.Iter, N: j.N, OldN: j.OldN, Hit: j.Hit, DurNS: j.DurNS,
 		Cost:        float64(j.Cost),
 		CostNominal: float64(j.CostNominal),
 		CostPVB:     float64(j.CostPVB),
@@ -220,6 +226,9 @@ func (e Event) String() string {
 	case EventHealth:
 		return fmt.Sprintf("%s %s iter=%d %s cost=%.6g |g|=%.4g",
 			e.Type, e.Trace, e.Iter, e.Msg, e.Cost, e.GradNorm)
+	case EventLevelSwitch:
+		return fmt.Sprintf("%s %s iter=%d %d->%d interp=%.3fms",
+			e.Type, e.Trace, e.Iter, e.OldN, e.N, float64(e.DurNS)/1e6)
 	default:
 		return fmt.Sprintf("%s %s %s", e.Type, e.Trace, e.Msg)
 	}

@@ -1,0 +1,91 @@
+package optics
+
+import (
+	"fmt"
+
+	"lsopc/internal/grid"
+)
+
+// Coarse-grid kernel banks for the multi-resolution schedule.
+//
+// Downsampling the simulation grid by an integer factor k (N/k pixels at
+// k·pitch nm) leaves the frequency-bin width 1/(N·pitch) unchanged — the
+// physical field of view is the same, only the Nyquist frequency drops.
+// The coarse grid's spectrum is therefore exactly the central band of
+// the fine grid's spectrum, and the coarse SOCS kernel bank is exactly
+// the central truncation of the fine bank's sparse boxes: no
+// re-synthesis, no resampling, just a window copy. Because the pupil
+// support (1+σ_out)·NA/λ is far inside Nyquist at practical resolutions,
+// moderate factors lose only the apodisation tail bins that the clamp
+// N_c/2−1 cuts off.
+
+// Coarse returns the optics configuration of the factor×-downsampled
+// grid: GridSize/factor pixels at PixelNM·factor pitch. factor must be a
+// power of two dividing the grid, and the coarse configuration must
+// itself validate (the pupil must still be resolvable).
+func (c Config) Coarse(factor int) (Config, error) {
+	if factor < 1 {
+		return Config{}, fmt.Errorf("optics: coarsening factor must be ≥ 1, got %d", factor)
+	}
+	if !grid.IsPow2(factor) {
+		return Config{}, fmt.Errorf("optics: coarsening factor %d is not a power of two", factor)
+	}
+	if c.GridSize%factor != 0 {
+		return Config{}, fmt.Errorf("optics: factor %d does not divide grid %d", factor, c.GridSize)
+	}
+	cc := c
+	cc.GridSize = c.GridSize / factor
+	cc.PixelNM = c.PixelNM * float64(factor)
+	if err := cc.Validate(); err != nil {
+		return Config{}, fmt.Errorf("optics: coarse level invalid: %w", err)
+	}
+	return cc, nil
+}
+
+// Truncate returns the kernel band-limited to box half-width r: the
+// central (2r+1)² window of the spectrum box. r ≥ R returns the kernel
+// unchanged (its support already fits).
+func (k Kernel) Truncate(r int) Kernel {
+	if r >= k.R {
+		return k
+	}
+	if r < 0 {
+		panic(fmt.Sprintf("optics: negative truncation radius %d", r))
+	}
+	side := 2*r + 1
+	box := grid.NewCField(side, side)
+	off := k.R - r
+	fineSide := k.boxSide()
+	for bv := 0; bv < side; bv++ {
+		srcRow := k.Box.Data[(bv+off)*fineSide+off:]
+		copy(box.Data[bv*side:(bv+1)*side], srcRow[:side])
+	}
+	return Kernel{Weight: k.Weight, R: r, Box: box}
+}
+
+// Coarse derives the kernel bank of the factor×-downsampled grid by
+// spectral truncation. Because the bin width is invariant under
+// coarsening, the result is identical to synthesising a fresh bank at
+// the coarse configuration — NewBank(coarseCfg) computes the same pupil
+// values on the same bins — but costs only window copies.
+func (b *Bank) Coarse(factor int) (*Bank, error) {
+	if factor == 1 {
+		return b, nil
+	}
+	cc, err := b.Cfg.Coarse(factor)
+	if err != nil {
+		return nil, err
+	}
+	r := cc.boxRadius()
+	cb := &Bank{
+		Cfg:       cc,
+		DefocusNM: b.DefocusNM,
+		Kernels:   make([]Kernel, len(b.Kernels)),
+	}
+	for i, k := range b.Kernels {
+		cb.Kernels[i] = k.Truncate(r)
+	}
+	// Truncation is linear, so the fused Eq. 17 kernel truncates directly.
+	cb.Combined = b.Combined.Truncate(r)
+	return cb, nil
+}

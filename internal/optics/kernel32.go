@@ -1,0 +1,64 @@
+package optics
+
+import "lsopc/internal/grid"
+
+// Float32 twins of the band-limited spectral multiplies. The kernel
+// coefficients and the mask spectrum stay complex128 — precision is
+// dropped only on the per-kernel field batches, at the single point
+// where each value enters (MulIntoBand32) or leaves (AccumFlipMul32) the
+// 32-bit domain. Each product is therefore computed in float64 and
+// rounded once, which keeps the float32 path's error at the rounding of
+// the transform itself rather than compounding through the multiplies.
+
+// MulIntoBand32 is MulIntoBand with a complex64 destination: dst =
+// round32(src ⊙ spectrum(h_k)) on the wrapped row band |v| ≤ R, rows
+// outside the band left untouched. It pairs with
+// fft.BatchPlan2D32.BatchInverseBanded.
+func (k Kernel) MulIntoBand32(dst *grid.CField32, src *grid.CField) {
+	if dst.W != src.W || dst.H != src.H {
+		panic("optics: MulIntoBand32 shape mismatch")
+	}
+	n := dst.W
+	k.checkGrid(n)
+	side := k.boxSide()
+	for bv := 0; bv < side; bv++ {
+		v := bv - k.R
+		row := dst.Data[gridIndex(0, v, n) : gridIndex(0, v, n)+n]
+		for i := range row {
+			row[i] = 0
+		}
+		for bu := 0; bu < side; bu++ {
+			c := k.Box.Data[bv*side+bu]
+			if c == 0 {
+				continue
+			}
+			gi := gridIndex(bu-k.R, v, n)
+			p := src.Data[gi] * c
+			dst.Data[gi] = complex(float32(real(p)), float32(imag(p)))
+		}
+	}
+}
+
+// AccumFlipMul32 is AccumFlipMul with a complex64 source: dst +=
+// w · widen(src) ⊙ spectrum(flip(h_k)), accumulating the gradient in
+// float64.
+func (k Kernel) AccumFlipMul32(dst *grid.CField, src *grid.CField32, w complex128) {
+	if dst.W != src.W || dst.H != src.H {
+		panic("optics: AccumFlipMul32 shape mismatch")
+	}
+	n := dst.W
+	k.checkGrid(n)
+	side := k.boxSide()
+	for bv := 0; bv < side; bv++ {
+		v := bv - k.R
+		for bu := 0; bu < side; bu++ {
+			c := k.Box.Data[bv*side+bu]
+			if c == 0 {
+				continue
+			}
+			gi := gridIndex(-(bu - k.R), -v, n)
+			s := src.Data[gi]
+			dst.Data[gi] += w * complex(float64(real(s)), float64(imag(s))) * c
+		}
+	}
+}

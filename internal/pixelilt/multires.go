@@ -1,0 +1,138 @@
+package pixelilt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/levelset"
+	"lsopc/internal/litho"
+	"lsopc/internal/obs"
+)
+
+// optimizeMultiRes runs the baseline's coarse-to-fine schedule: θ
+// evolves on a MultiResFactor-downsampled grid first (the SOCS banks
+// truncate exactly to the coarse configuration, see optics.Bank.Coarse),
+// is interpolated spectrally onto each finer grid, and finishes at full
+// resolution on sim itself. Histories concatenate with globally
+// renumbered iterations; each hand-off emits a level_switch trace event.
+func optimizeMultiRes(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
+	n := sim.GridSize()
+	if target.W != n || target.H != n {
+		return nil, fmt.Errorf("pixelilt: target %dx%d does not match grid %d", target.W, target.H, n)
+	}
+	numCoarse := 0
+	for f := opts.MultiResFactor; f > 1; f /= 2 {
+		numCoarse++
+	}
+	perCoarse := opts.MultiResIters
+	if perCoarse == 0 {
+		perCoarse = opts.MaxIter / (2 * numCoarse)
+	}
+	if perCoarse < 1 {
+		perCoarse = 1
+	}
+	fineIters := opts.MaxIter - numCoarse*perCoarse
+	if fineIters < 1 {
+		fineIters = 1
+	}
+
+	total := &Result{}
+	var theta *grid.Field // hand-off θ, already at the next level's resolution
+	globalIter := 0
+
+	for f := opts.MultiResFactor; f > 1; f /= 2 {
+		cres, err := sim.Resources().Coarse(f)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := sim.Config()
+		ccfg.Optics = cres.Optics()
+		csim, err := litho.NewSession(cres, ccfg, sim.Engine())
+		if err != nil {
+			return nil, err
+		}
+		ctarget := target.Downsample(f)
+		ctarget.Binarize(ctarget)
+
+		lopts := opts
+		lopts.MaxIter = perCoarse
+		lopts.IterOffset = globalIter
+		lopts.CleanupTinyPx = 0 // final-mask-only cleanup
+
+		lres, ltheta, err := optimizeLevel(csim, ctarget, lopts, theta)
+		csim.Release()
+		if err != nil {
+			return nil, err
+		}
+		mergeLevel(total, lres, &globalIter)
+
+		if lres.Aborted {
+			// Surface the abort with θ lifted to full resolution so the
+			// result masks match the caller's grid.
+			total.Aborted = true
+			total.AbortReason = lres.AbortReason
+			total.Gray, total.Mask = masksFromTheta(upsampleThetaTo(ltheta, f), opts.MaskSteepness)
+			return total, nil
+		}
+
+		interpStart := time.Now()
+		theta = levelset.UpsampleSpectral(ltheta, 2)
+		if opts.Sink != nil {
+			opts.Sink.Emit(obs.Event{
+				Type:   obs.EventLevelSwitch,
+				Trace:  opts.TraceID,
+				Name:   opts.Variant.String(),
+				Engine: sim.Engine().Name(),
+				Iter:   globalIter,
+				OldN:   ltheta.W,
+				N:      theta.W,
+				DurNS:  time.Since(interpStart).Nanoseconds(),
+			})
+		}
+	}
+
+	lopts := opts
+	lopts.MaxIter = fineIters
+	lopts.IterOffset = globalIter
+	fres, _, err := optimizeLevel(sim, target, lopts, theta)
+	if err != nil {
+		return nil, err
+	}
+	mergeLevel(total, fres, &globalIter)
+	total.Mask = fres.Mask
+	total.Gray = fres.Gray
+	total.Aborted = fres.Aborted
+	total.AbortReason = fres.AbortReason
+	return total, nil
+}
+
+// mergeLevel appends one level's history (already globally numbered via
+// Options.IterOffset) and accumulates the corner-simulation count.
+func mergeLevel(total, level *Result, globalIter *int) {
+	total.History = append(total.History, level.History...)
+	*globalIter += level.Iterations
+	total.Iterations = *globalIter
+	total.CornerSims += level.CornerSims
+}
+
+// upsampleThetaTo lifts θ by the given total factor via repeated 2×
+// spectral interpolation.
+func upsampleThetaTo(theta *grid.Field, factor int) *grid.Field {
+	for ; factor > 1; factor /= 2 {
+		theta = levelset.UpsampleSpectral(theta, 2)
+	}
+	return theta
+}
+
+// masksFromTheta builds the continuous and binarised masks of θ.
+func masksFromTheta(theta *grid.Field, a float64) (gray, bin *grid.Field) {
+	gray = grid.NewField(theta.W, theta.H)
+	for j, v := range theta.Data {
+		gray.Data[j] = 1 / (1 + math.Exp(-a*v))
+	}
+	bin = grid.NewField(theta.W, theta.H)
+	bin.Binarize(gray)
+	return gray, bin
+}

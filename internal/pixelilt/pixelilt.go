@@ -81,6 +81,19 @@ type Options struct {
 	// pixels from the final binary mask (0 disables). Pixel-based ILT
 	// is the method family that needs it (paper §I).
 	CleanupTinyPx int
+	// MultiResFactor > 1 runs the coarse-to-fine schedule: the first
+	// iterations evolve θ on a grid downsampled by this power-of-two
+	// factor, halving the factor each level, with θ interpolated
+	// spectrally onto each finer grid. 0 or 1 is single-resolution.
+	MultiResFactor int
+	// MultiResIters is the iteration budget per coarse level (0 defaults
+	// to MaxIter/2 split evenly across the coarse levels); full
+	// resolution gets the remainder of MaxIter.
+	MultiResIters int
+	// IterOffset shifts the iteration numbers reported in History, trace
+	// events and watchdog verdicts — the coarse-to-fine driver uses it to
+	// keep one globally contiguous iteration axis across levels.
+	IterOffset int
 	// Sink receives one structured iteration event per baseline step.
 	// nil disables tracing.
 	Sink obs.Sink
@@ -131,6 +144,14 @@ func (o Options) Validate() error {
 		return fmt.Errorf("pixelilt: NominalPhase must be in [0,1], got %g", o.NominalPhase)
 	case o.CleanupTinyPx < 0:
 		return fmt.Errorf("pixelilt: CleanupTinyPx must be ≥ 0, got %d", o.CleanupTinyPx)
+	case o.MultiResFactor < 0:
+		return fmt.Errorf("pixelilt: MultiResFactor must be ≥ 0, got %d", o.MultiResFactor)
+	case o.MultiResFactor > 1 && !grid.IsPow2(o.MultiResFactor):
+		return fmt.Errorf("pixelilt: MultiResFactor must be a power of two, got %d", o.MultiResFactor)
+	case o.MultiResIters < 0:
+		return fmt.Errorf("pixelilt: MultiResIters must be ≥ 0, got %d", o.MultiResIters)
+	case o.IterOffset < 0:
+		return fmt.Errorf("pixelilt: IterOffset must be ≥ 0, got %d", o.IterOffset)
 	}
 	return nil
 }
@@ -197,14 +218,27 @@ func (o Options) constantCornerPlan() bool {
 }
 
 // Optimize runs the pixel-based baseline on the simulator for the given
-// target image.
+// target image. With MultiResFactor > 1 the schedule runs coarse-to-fine
+// (see optimizeMultiRes).
 func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.MultiResFactor > 1 {
+		return optimizeMultiRes(sim, target, opts)
+	}
+	res, _, err := optimizeLevel(sim, target, opts, nil)
+	return res, err
+}
+
+// optimizeLevel runs the schedule at one resolution. thetaInit seeds θ
+// when non-nil (the coarse-to-fine hand-off; the caller keeps
+// ownership), and the final θ is returned alongside the result so the
+// next level can continue from it.
+func optimizeLevel(sim *litho.Simulator, target *grid.Field, opts Options, thetaInit *grid.Field) (*Result, *grid.Field, error) {
 	n := sim.GridSize()
 	if target.W != n || target.H != n {
-		return nil, fmt.Errorf("pixelilt: target %dx%d does not match grid %d", target.W, target.H, n)
+		return nil, nil, fmt.Errorf("pixelilt: target %dx%d does not match grid %d", target.W, target.H, n)
 	}
 
 	// Scratch is leased from the simulator's pool and returned on exit;
@@ -223,9 +257,14 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 		imgs.ReleaseTo(pool)
 	}()
 
-	// θ initialised from the design: +1 inside (M≈σ(a)), −1 outside.
-	for i, v := range target.Data {
-		theta.Data[i] = 2*v - 1
+	// θ initialised from the design (+1 inside, −1 outside; M≈σ(±a))
+	// unless a coarser level handed one over.
+	if thetaInit != nil {
+		theta.CopyFrom(thetaInit)
+	} else {
+		for i, v := range target.Data {
+			theta.Data[i] = 2*v - 1
+		}
 	}
 	a := opts.MaskSteepness
 
@@ -248,6 +287,7 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 	res := &Result{}
 	for i := 0; i < opts.MaxIter; i++ {
 		iterStart := time.Now()
+		gi := i + opts.IterOffset // globally reported iteration number
 		// M = σ(a·θ).
 		for j, v := range theta.Data {
 			mask.Data[j] = 1 / (1 + math.Exp(-a*v))
@@ -260,7 +300,7 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 		for c, cond := range corners {
 			cost += sim.ForwardAndGradient(gradM, maskSpec, cond, target, imgs, weights[c])
 		}
-		res.History = append(res.History, IterStats{Iter: i, Cost: cost, CornerSim: len(corners)})
+		res.History = append(res.History, IterStats{Iter: gi, Cost: cost, CornerSim: len(corners)})
 		res.CornerSims += len(corners)
 		if opts.Sink != nil {
 			opts.Sink.Emit(obs.Event{
@@ -268,7 +308,7 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 				Trace:  opts.TraceID,
 				Name:   opts.Variant.String(),
 				Engine: sim.Engine().Name(),
-				Iter:   i,
+				Iter:   gi,
 				N:      len(corners),
 				Cost:   cost,
 				DurNS:  time.Since(iterStart).Nanoseconds(),
@@ -289,7 +329,7 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 		// Health watchdog: abort in the same iteration on NaN/Inf cost
 		// or gradient, divergence, or a stalled schedule.
 		if wd != nil {
-			if v := wd.Observe(i, cost, maxG, opts.StepSize); v.Abort {
+			if v := wd.Observe(gi, cost, maxG, opts.StepSize); v.Abort {
 				res.Aborted = true
 				res.AbortReason = v.Reason
 				break
@@ -313,5 +353,5 @@ func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, 
 	}
 	res.Mask = bin
 	res.Gray = gray
-	return res, nil
+	return res, theta.Clone(), nil
 }

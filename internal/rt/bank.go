@@ -25,6 +25,14 @@ type Bank struct {
 	row, col  *fft.Plan
 	pool      *Pool
 	targets   sync.Map // any -> *targetEntry
+	coarse    sync.Map // int (factor) -> *coarseEntry
+}
+
+// coarseEntry memoizes one coarse-level bank derivation.
+type coarseEntry struct {
+	once sync.Once
+	bank *Bank
+	err  error
 }
 
 // targetEntry memoizes one rasterised target, including a failed build.
@@ -107,6 +115,37 @@ func (b *Bank) Radius() int {
 		r = dr
 	}
 	return r
+}
+
+// Coarse returns the resource bank of the factor×-downsampled grid,
+// derived once per factor by spectral truncation of this bank's kernel
+// banks (see optics.Bank.Coarse) and memoized on the parent. The coarse
+// bank shares the parent's pool, so multi-resolution sessions recycle
+// coarse-grid scratch through the same dimension-keyed free lists.
+// factor 1 returns the bank itself.
+func (b *Bank) Coarse(factor int) (*Bank, error) {
+	if factor == 1 {
+		return b, nil
+	}
+	v, ok := b.coarse.Load(factor)
+	if !ok {
+		v, _ = b.coarse.LoadOrStore(factor, &coarseEntry{})
+	}
+	e := v.(*coarseEntry)
+	e.once.Do(func() {
+		nom, err := b.nominal.Coarse(factor)
+		if err != nil {
+			e.err = err
+			return
+		}
+		def, err := b.defocus.Coarse(factor)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.bank, e.err = WrapBanks(nom, def, b.pool)
+	})
+	return e.bank, e.err
 }
 
 // Target memoizes a derived read-only field (typically a rasterised

@@ -1,6 +1,6 @@
 // Package rt is the session-based runtime substrate underneath the
-// optimizer pipelines: area-keyed free lists of field memory (Pool) and
-// immutable, concurrency-safe per-preset resource banks (Bank).
+// optimizer pipelines: dimension-keyed free lists of field memory (Pool)
+// and immutable, concurrency-safe per-preset resource banks (Bank).
 //
 // The split mirrors how the paper's GPU implementation manages device
 // memory. Everything derivable once per optical preset — SOCS kernel
@@ -46,20 +46,27 @@ func traceRelease(kind string, elems int) {
 	}
 }
 
-// Pool is an area-keyed free list of Field/CField storage. Lease with
-// Field/CField, return with PutField/PutCField. Leased fields are always
-// zeroed, so a pooled lease is a drop-in replacement for grid.NewField —
-// results stay bit-identical whether memory is fresh or recycled.
+// dims keys one free list by exact grid shape.
+type dims struct{ w, h int }
+
+// Pool is a dimension-keyed free list of Field/CField/CField32 storage.
+// Lease with Field/CField/CField32, return with the matching Put method.
+// Leased fields are always zeroed, so a pooled lease is a drop-in
+// replacement for grid.NewField — results stay bit-identical whether
+// memory is fresh or recycled.
 //
-// Free lists are keyed by element count, not shape: a released 512×256
-// field can come back as 256×512 (see grid.Field.Reshape). Backing
-// storage is held through sync.Pool, so memory pressure can reclaim idle
-// buffers between jobs.
+// Free lists are keyed by grid dimensions (w, h), not element count:
+// multi-resolution sessions interleave leases at several grid sizes, and
+// a shape-exact key guarantees a released coarse-grid buffer serves the
+// next coarse-grid lease directly instead of being found (or missed)
+// through an area collision. Backing storage is held through sync.Pool,
+// so memory pressure can reclaim idle buffers between jobs.
 //
 // A Pool is safe for concurrent use. The zero value is ready to use.
 type Pool struct {
-	fields  sync.Map // int (element count) -> *sync.Pool of *grid.Field
-	cfields sync.Map // int (element count) -> *sync.Pool of *grid.CField
+	fields    sync.Map // dims -> *sync.Pool of *grid.Field
+	cfields   sync.Map // dims -> *sync.Pool of *grid.CField
+	cfields32 sync.Map // dims -> *sync.Pool of *grid.CField32
 
 	leases int64 // total leases served
 	reuses int64 // leases served from the free list
@@ -73,19 +80,11 @@ func NewPool() *Pool { return &Pool{} }
 // same preset recycle each other's scratch.
 var Shared = NewPool()
 
-func (p *Pool) fieldList(n int) *sync.Pool {
-	if sp, ok := p.fields.Load(n); ok {
+func list(m *sync.Map, d dims) *sync.Pool {
+	if sp, ok := m.Load(d); ok {
 		return sp.(*sync.Pool)
 	}
-	sp, _ := p.fields.LoadOrStore(n, &sync.Pool{})
-	return sp.(*sync.Pool)
-}
-
-func (p *Pool) cfieldList(n int) *sync.Pool {
-	if sp, ok := p.cfields.Load(n); ok {
-		return sp.(*sync.Pool)
-	}
-	sp, _ := p.cfields.LoadOrStore(n, &sync.Pool{})
+	sp, _ := m.LoadOrStore(d, &sync.Pool{})
 	return sp.(*sync.Pool)
 }
 
@@ -93,7 +92,7 @@ func (p *Pool) cfieldList(n int) *sync.Pool {
 func (p *Pool) Field(w, h int) *grid.Field {
 	atomic.AddInt64(&p.leases, 1)
 	mLeases.Inc()
-	if v := p.fieldList(w * h).Get(); v != nil {
+	if v := list(&p.fields, dims{w, h}).Get(); v != nil {
 		atomic.AddInt64(&p.reuses, 1)
 		mReuses.Inc()
 		traceLease("field", w*h, true)
@@ -115,14 +114,14 @@ func (p *Pool) PutField(f *grid.Field) {
 	}
 	mReleases.Inc()
 	traceRelease("field", len(f.Data))
-	p.fieldList(len(f.Data)).Put(f)
+	list(&p.fields, dims{f.W, f.H}).Put(f)
 }
 
 // CField leases a zeroed w×h complex field.
 func (p *Pool) CField(w, h int) *grid.CField {
 	atomic.AddInt64(&p.leases, 1)
 	mLeases.Inc()
-	if v := p.cfieldList(w * h).Get(); v != nil {
+	if v := list(&p.cfields, dims{w, h}).Get(); v != nil {
 		atomic.AddInt64(&p.reuses, 1)
 		mReuses.Inc()
 		traceLease("cfield", w*h, true)
@@ -144,7 +143,37 @@ func (p *Pool) PutCField(c *grid.CField) {
 	}
 	mReleases.Inc()
 	traceRelease("cfield", len(c.Data))
-	p.cfieldList(len(c.Data)).Put(c)
+	list(&p.cfields, dims{c.W, c.H}).Put(c)
+}
+
+// CField32 leases a zeroed w×h complex64 field for the float32 spectral
+// fast path.
+func (p *Pool) CField32(w, h int) *grid.CField32 {
+	atomic.AddInt64(&p.leases, 1)
+	mLeases.Inc()
+	if v := list(&p.cfields32, dims{w, h}).Get(); v != nil {
+		atomic.AddInt64(&p.reuses, 1)
+		mReuses.Inc()
+		traceLease("cfield32", w*h, true)
+		c := v.(*grid.CField32)
+		c.Reshape(w, h)
+		c.Zero()
+		return c
+	}
+	mMisses.Inc()
+	traceLease("cfield32", w*h, false)
+	return grid.NewCField32(w, h)
+}
+
+// PutCField32 returns a complex64 field to the free list. nil is
+// ignored. The caller must not use c afterwards.
+func (p *Pool) PutCField32(c *grid.CField32) {
+	if c == nil {
+		return
+	}
+	mReleases.Inc()
+	traceRelease("cfield32", len(c.Data))
+	list(&p.cfields32, dims{c.W, c.H}).Put(c)
 }
 
 // Stats reports total leases and how many were served from the free

@@ -24,11 +24,10 @@ func TestPoolFieldReuseAndZeroing(t *testing.T) {
 		f.Fill(3.5)
 		p.PutField(f)
 
-		// Same element count, different shape: a recycled buffer must
-		// come back reshaped and zeroed.
-		g := p.Field(4, 8)
-		if g.W != 4 || g.H != 8 {
-			t.Fatalf("reshaped lease %dx%d", g.W, g.H)
+		// Same dimensions: a recycled buffer must come back zeroed.
+		g := p.Field(8, 4)
+		if g.W != 8 || g.H != 4 {
+			t.Fatalf("lease %dx%d", g.W, g.H)
 		}
 		if &g.Data[0] == &f.Data[0] {
 			recycled = true
@@ -57,9 +56,9 @@ func TestPoolCFieldReuseAndZeroing(t *testing.T) {
 		c.Data[5] = complex(1, 2)
 		p.PutCField(c)
 
-		d := p.CField(2, 8)
-		if d.W != 2 || d.H != 8 {
-			t.Fatalf("reshaped lease %dx%d", d.W, d.H)
+		d := p.CField(4, 4)
+		if d.W != 4 || d.H != 4 {
+			t.Fatalf("lease %dx%d", d.W, d.H)
 		}
 		if &d.Data[0] == &c.Data[0] {
 			recycled = true
@@ -70,6 +69,33 @@ func TestPoolCFieldReuseAndZeroing(t *testing.T) {
 			}
 		}
 		p.PutCField(d)
+	}
+	if !recycled {
+		t.Fatal("free list never recycled a buffer")
+	}
+}
+
+func TestPoolCField32ReuseAndZeroing(t *testing.T) {
+	p := NewPool()
+	recycled := false
+	for round := 0; round < 100 && !recycled; round++ {
+		c := p.CField32(4, 4)
+		c.Data[5] = complex(1, 2)
+		p.PutCField32(c)
+
+		d := p.CField32(4, 4)
+		if d.W != 4 || d.H != 4 {
+			t.Fatalf("lease %dx%d", d.W, d.H)
+		}
+		if &d.Data[0] == &c.Data[0] {
+			recycled = true
+			for i, v := range d.Data {
+				if v != 0 {
+					t.Fatalf("recycled cfield32 not zeroed at %d: %v", i, v)
+				}
+			}
+		}
+		p.PutCField32(d)
 	}
 	if !recycled {
 		t.Fatal("free list never recycled a buffer")
@@ -90,10 +116,59 @@ func TestPoolDistinctSizesDoNotMix(t *testing.T) {
 	}
 }
 
+func TestPoolDistinctShapesDoNotMix(t *testing.T) {
+	// Dimension keying: equal element counts with different shapes keep
+	// separate free lists, so multi-resolution sessions never trade
+	// buffers across transposed or re-factored shapes.
+	p := NewPool()
+	f := p.Field(8, 4)
+	p.PutField(f)
+	g := p.Field(4, 8)
+	if g.W != 4 || g.H != 8 {
+		t.Fatalf("lease %dx%d", g.W, g.H)
+	}
+	_, reuses := p.Stats()
+	if reuses != 0 {
+		t.Fatal("an 8x4 buffer must not serve a 4x8 lease")
+	}
+}
+
 func TestPoolNilPutsAreSafe(t *testing.T) {
 	p := NewPool()
 	p.PutField(nil)
 	p.PutCField(nil)
+	p.PutCField32(nil)
+}
+
+// BenchmarkPoolMixedSizeLeases exercises the multi-resolution lease
+// pattern: a session alternating between fine-grid and coarse-grid
+// scratch on every round. With dimension-keyed free lists the steady
+// state serves every lease from the pool — the reported allocs/op is the
+// regression gate for fallback allocations.
+func BenchmarkPoolMixedSizeLeases(b *testing.B) {
+	p := NewPool()
+	const fine, coarse = 64, 16
+	// Warm one buffer per (type, size) so the steady state only recycles.
+	warm := func() {
+		f := p.Field(fine, fine)
+		fc := p.Field(coarse, coarse)
+		c := p.CField(fine, fine)
+		cc := p.CField(coarse, coarse)
+		c32 := p.CField32(fine, fine)
+		cc32 := p.CField32(coarse, coarse)
+		p.PutField(f)
+		p.PutField(fc)
+		p.PutCField(c)
+		p.PutCField(cc)
+		p.PutCField32(c32)
+		p.PutCField32(cc32)
+	}
+	warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm()
+	}
 }
 
 func TestPoolConcurrentLeases(t *testing.T) {

@@ -61,7 +61,21 @@ type (
 	// HealthPolicy configures the numerical-health watchdog (NaN/Inf
 	// detection, stall and divergence windows, early abort).
 	HealthPolicy = obs.HealthPolicy
+	// Precision selects the forward model's batch arithmetic (see
+	// litho.Precision): Float64 is the bit-exact default, Float32 the
+	// reduced-precision fast path.
+	Precision = litho.Precision
 )
+
+// Forward-model precisions, re-exported.
+const (
+	Float64 = litho.Float64
+	Float32 = litho.Float32
+)
+
+// ParsePrecision maps a flag value ("float64"/"f64"/"float32"/"f32") to
+// a Precision.
+func ParsePrecision(s string) (Precision, error) { return litho.ParsePrecision(s) }
 
 // Trace event types emitted through a TraceSink.
 const (
@@ -72,6 +86,8 @@ const (
 	EventSpan      = obs.EventSpan      // one pipeline job span
 	EventProgress  = obs.EventProgress  // free-form progress line
 	EventHealth    = obs.EventHealth    // one numerical-health verdict
+	// EventLevelSwitch marks one coarse-to-fine resolution hand-off.
+	EventLevelSwitch = obs.EventLevelSwitch
 )
 
 // DefaultHealthPolicy returns the standard watchdog configuration: all
@@ -249,6 +265,15 @@ func WithHealthPolicy(hp HealthPolicy) PipelineOption {
 	return func(p *Pipeline) { p.health = &hp }
 }
 
+// WithPrecision sets the pipeline's default forward-model precision:
+// every session it leases runs its per-kernel field batches at this
+// arithmetic. Float64 (the default) is the bit-exact reference path;
+// Float32 halves the batch memory traffic for a ~1e-6-relative aerial
+// error. Individual jobs can override via SessionPrecision.
+func WithPrecision(prec Precision) PipelineOption {
+	return func(p *Pipeline) { p.cfg.Precision = prec }
+}
+
 // NewPipeline builds a pipeline at the given preset on the given engine
 // (nil defaults to the serial CPU engine). Construction is cheap after
 // the first pipeline at a preset: the kernel banks, FFT plans and other
@@ -365,9 +390,18 @@ type Session struct {
 	closed  bool
 }
 
-// newSession builds a session on the given engine.
+// newSession builds a session on the given engine at the pipeline's
+// default precision.
 func newSession(p *Pipeline, eng *engine.Engine) (*Session, error) {
-	sim, err := litho.NewSession(p.res, p.cfg, eng)
+	return newSessionPrec(p, eng, p.cfg.Precision)
+}
+
+// newSessionPrec builds a session running the forward model at an
+// explicit precision.
+func newSessionPrec(p *Pipeline, eng *engine.Engine, prec litho.Precision) (*Session, error) {
+	cfg := p.cfg
+	cfg.Precision = prec
+	sim, err := litho.NewSession(p.res, cfg, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -410,16 +444,29 @@ func (s *Session) traceSpan(name string, start time.Time) {
 // one when available (its warm simulator scratch carries over). Close
 // the session when the job is done.
 func (p *Pipeline) Session() (*Session, error) {
+	return p.SessionPrecision(p.cfg.Precision)
+}
+
+// SessionPrecision leases a session running the forward model at an
+// explicit precision, so float32 and float64 jobs can share one
+// pipeline concurrently (e.g. fast exploratory runs next to bit-exact
+// verification runs). Idle sessions are reused only when their
+// precision matches; everything immutable (kernel banks, FFT plans,
+// target cache) is shared regardless.
+func (p *Pipeline) SessionPrecision(prec Precision) (*Session, error) {
 	p.mu.Lock()
-	if k := len(p.free); k > 0 {
-		s := p.free[k-1]
-		p.free = p.free[:k-1]
+	for i := len(p.free) - 1; i >= 0; i-- {
+		s := p.free[i]
+		if s.sim.Precision() != prec {
+			continue
+		}
+		p.free = append(p.free[:i], p.free[i+1:]...)
 		p.mu.Unlock()
 		s.closed = false
 		return s, nil
 	}
 	p.mu.Unlock()
-	return newSession(p, p.eng)
+	return newSessionPrec(p, p.eng, prec)
 }
 
 // SessionOn leases a session scheduled on a specific engine (e.g. one
@@ -536,7 +583,10 @@ func (p *Pipeline) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult
 
 // OptimizeLevelSet runs the paper's optimizer on this session. When the
 // pipeline carries a trace sink and opts.Sink is nil, the run inherits
-// the pipeline's sink under this session's trace id.
+// the pipeline's sink under this session's trace id. With
+// opts.MultiResFactor > 1 the run follows the coarse-to-fine schedule
+// (core.RunMultiResolution) on truncated kernel banks sharing this
+// pipeline's resources.
 func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult, error) {
 	target, err := s.p.targetShared(l)
 	if err != nil {
@@ -549,13 +599,8 @@ func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult,
 	if opts.Health == nil {
 		opts.Health = s.p.health
 	}
-	opt, err := core.New(s.sim, target, opts)
-	if err != nil {
-		return nil, err
-	}
-	defer opt.Release()
 	start := time.Now()
-	res, err := opt.Run()
+	res, err := core.RunMultiResolution(s.sim, target, opts)
 	if err != nil {
 		return nil, err
 	}

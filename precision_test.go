@@ -1,0 +1,146 @@
+package lsopc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMixedPrecisionSessionsConcurrent is the mixed-precision
+// concurrency gate: float32 and float64 jobs share ONE pipeline at the
+// same time, and each must be bit-identical to its own serial baseline.
+// The free list hands sessions back by precision, so a recycled float32
+// session must never serve a float64 lease (or vice versa). Run under
+// `go test -race .` (make race) this also covers the float32 scratch
+// paths for data races.
+func TestMixedPrecisionSessionsConcurrent(t *testing.T) {
+	p, err := NewPipeline(PresetTest, GPUEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultLevelSetOptions()
+	opts.MaxIter = 3
+
+	type job struct {
+		id   string
+		prec Precision
+	}
+	jobs := []job{
+		{"B1", Float64}, {"B1", Float32},
+		{"B4", Float64}, {"B4", Float32},
+		{"B7", Float64}, {"B7", Float32},
+		{"B10", Float64}, {"B10", Float32},
+	}
+
+	// Serial baselines, one per (case, precision).
+	serial := make(map[job]*RunResult, len(jobs))
+	for _, j := range jobs {
+		s, err := p.SessionPrecision(j.prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := s.OptimizeLevelSet(Benchmark(j.id), opts)
+		s.Close()
+		if err != nil {
+			t.Fatalf("%s/%v serial: %v", j.id, j.prec, err)
+		}
+		serial[j] = run
+	}
+
+	// All jobs at once, mixing precisions through the same handle.
+	got := make([]*RunResult, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			s, err := p.SessionPrecision(j.prec)
+			if err != nil {
+				t.Errorf("%s/%v lease: %v", j.id, j.prec, err)
+				return
+			}
+			defer s.Close()
+			run, err := s.OptimizeLevelSet(Benchmark(j.id), opts)
+			if err != nil {
+				t.Errorf("%s/%v concurrent: %v", j.id, j.prec, err)
+				return
+			}
+			got[i] = run
+		}(i, j)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, j := range jobs {
+		want := serial[j]
+		masksEqual(t, j.id+"/"+j.prec.String(), want.Mask, got[i].Mask)
+		if !reportsMatch(want.Report, got[i].Report) {
+			t.Fatalf("%s/%v: reports differ: %+v vs %+v", j.id, j.prec, want.Report, got[i].Report)
+		}
+	}
+}
+
+// TestSessionPrecisionFreeList pins the precision-aware free list: a
+// closed session is only recycled for a matching-precision lease.
+func TestSessionPrecisionFreeList(t *testing.T) {
+	p, err := NewPipeline(PresetTest, CPUEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+
+	s32, err := p.SessionPrecision(Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32.Close()
+
+	s64, err := p.SessionPrecision(Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s64 == s32 {
+		t.Fatal("float64 lease was served a recycled float32 session")
+	}
+	s64.Close()
+
+	again, err := p.SessionPrecision(Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != s32 {
+		t.Fatal("idle float32 session was not reused for a float32 lease")
+	}
+	again.Close()
+}
+
+// TestWithPrecisionDefault checks the pipeline-wide default: a pipeline
+// built WithPrecision(Float32) hands out float32 sessions from the
+// plain Session call, and produces printable results.
+func TestWithPrecisionDefault(t *testing.T) {
+	p, err := NewPipeline(PresetTest, CPUEngine(), WithPrecision(Float32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+
+	s, err := p.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.sim.Precision(); got != Float32 {
+		t.Fatalf("default session precision = %v, want float32", got)
+	}
+
+	opts := DefaultLevelSetOptions()
+	opts.MaxIter = 2
+	run, err := s.OptimizeLevelSet(Benchmark("B2"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Mask == nil || run.Mask.Sum() == 0 {
+		t.Fatal("float32 pipeline produced an empty mask")
+	}
+}

@@ -1,10 +1,14 @@
 // Command benchgen writes the synthetic ICCAD-2013-style benchmark
 // layouts (B1…B10) as GLP text files, optionally with PGM previews.
+// With -chip it instead composes benchmark cells into an NxM cell-array
+// chip layout — the multi-window inputs for lsopc -tiled.
 //
 // Usage:
 //
-//	benchgen -dir bench/           # writes B1.glp … B10.glp
-//	benchgen -dir bench/ -pgm      # also writes raster previews
+//	benchgen -dir bench/             # writes B1.glp … B10.glp
+//	benchgen -dir bench/ -pgm        # also writes raster previews
+//	benchgen -dir bench/ -chip 2x2   # writes chip_2x2.glp (cells cycle B1…B10)
+//	benchgen -dir bench/ -chip 3x2 -cells B1,B4,B5
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"lsopc/internal/gds"
 	"lsopc/internal/geom"
@@ -24,13 +29,90 @@ func main() {
 		dir    = flag.String("dir", "benchmarks", "output directory")
 		pgm    = flag.Bool("pgm", false, "also write 512-px PGM previews")
 		gdsOut = flag.Bool("gds", false, "also write GDSII streams")
+		chip   = flag.String("chip", "", "compose an NxM cell-array chip layout instead (e.g. 2x2)")
+		cells  = flag.String("cells", "", "comma-separated cell ids for -chip, \"-\" = empty slot (default: cycle through B1…B10)")
 	)
 	flag.Parse()
 
-	if err := run(*dir, *pgm, *gdsOut); err != nil {
+	var err error
+	if *chip != "" {
+		err = runChip(*dir, *chip, *cells, *pgm, *gdsOut)
+	} else {
+		err = run(*dir, *pgm, *gdsOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runChip writes one composed cell-array chip layout.
+func runChip(dir, spec, cellList string, pgm, gdsOut bool) error {
+	nx, ny, err := parseChipSpec(spec)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	if cellList != "" {
+		for _, id := range strings.Split(cellList, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	l, err := layouts.Chip(nx, ny, ids)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, l.Name+".glp")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := geom.WriteGLP(f, l); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%d nm, area %d nm², %d shapes → %s\n",
+		l.Name, l.W, l.H, l.Area(), l.ShapeCount(), path)
+
+	if pgm {
+		raster, err := geom.Rasterize(l, 8)
+		if err != nil {
+			return err
+		}
+		if err := render.SavePGM(filepath.Join(dir, l.Name+".pgm"), raster, 0, 1); err != nil {
+			return err
+		}
+	}
+	if gdsOut {
+		gf, err := os.Create(filepath.Join(dir, l.Name+".gds"))
+		if err != nil {
+			return err
+		}
+		if err := gds.Write(gf, l); err != nil {
+			gf.Close()
+			return err
+		}
+		if err := gf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseChipSpec parses "NxM" into a positive cell-array shape.
+func parseChipSpec(s string) (nx, ny int, err error) {
+	if n, _ := fmt.Sscanf(strings.ToLower(s), "%dx%d", &nx, &ny); n != 2 || nx < 1 || ny < 1 {
+		return 0, 0, fmt.Errorf("invalid -chip %q, want NxM (e.g. 2x2)", s)
+	}
+	return nx, ny, nil
 }
 
 func run(dir string, pgm, gdsOut bool) error {

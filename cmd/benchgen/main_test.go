@@ -24,6 +24,25 @@ func TestRunWritesAllBenchmarks(t *testing.T) {
 	}
 }
 
+func TestRunChipWritesComposedLayout(t *testing.T) {
+	dir := t.TempDir()
+	if err := runChip(dir, "2x2", "B1, B4", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "chip_2x2.glp")); err != nil {
+		t.Fatalf("chip_2x2.glp missing: %v", err)
+	}
+	if err := runChip(dir, "2", "", false, false); err == nil {
+		t.Fatal("malformed -chip spec accepted")
+	}
+	if err := runChip(dir, "2x0", "", false, false); err == nil {
+		t.Fatal("zero-row chip accepted")
+	}
+	if err := runChip(dir, "2x2", "B99", false, false); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
 func TestRunFailsOnUnwritableDir(t *testing.T) {
 	if err := run("/proc/definitely/not/writable", false, false); err == nil {
 		t.Fatal("unwritable dir accepted")

@@ -6,6 +6,7 @@
 //	go run ./cmd/benchjson -label after
 //	go run ./cmd/benchjson -label seed -o BENCH_batchfft.json
 //	go run ./cmd/benchjson -sessions -label after
+//	go run ./cmd/benchjson -tiled        # full-chip monolithic vs tiled
 //
 // Each benchmark is executed with the standard testing.Benchmark driver,
 // so ns/op, B/op, and allocs/op match `go test -bench` output.
@@ -41,6 +42,7 @@ func main() {
 	filter := flag.String("bench", "", "substring filter on benchmark names")
 	sessions := flag.Bool("sessions", false, "measure concurrent-session throughput instead (BENCH_sessions.json)")
 	multires := flag.Bool("multires", false, "measure Table II per-case runtime, full-res float64 vs coarse-to-fine float32 (BENCH_multires.json)")
+	tiled := flag.Bool("tiled", false, "measure full-chip runtime, monolithic window vs tiled overlap-halo optimization (BENCH_tiled.json)")
 	tracePath := flag.String("tracefile", "", "write a structured JSONL event trace of the sessions sweep to this file")
 	metrics := flag.Bool("metrics", false, "store the full flat metrics snapshot with the run (sessions mode)")
 	flag.Parse()
@@ -51,6 +53,14 @@ func main() {
 			*out = "BENCH_multires.json"
 		}
 		multiresMain(*out, *note, *filter)
+		return
+	}
+	if *tiled {
+		// Labels are fixed ("monolithic"/"tiled") for the same reason.
+		if *out == "" {
+			*out = "BENCH_tiled.json"
+		}
+		tiledMain(*out, *note, *filter)
 		return
 	}
 	if *label == "" {

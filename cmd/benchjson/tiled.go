@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"lsopc"
+	"lsopc/internal/benchfmt"
+	"lsopc/internal/layouts"
+)
+
+// tiledMain measures full-chip optimization wall time monolithic vs
+// tiled on the same composed cell-array chip, writing both into one
+// artefact under the fixed labels "monolithic" and "tiled". The
+// monolithic variant simulates the whole chip in one window (a custom
+// pipeline whose grid covers the chip); the tiled variant decomposes it
+// into PresetTest-sized windows with an overlap halo and stitches the
+// seams. The chip is sparse (25% cell occupancy, like real designs):
+// that is where tiling wins even on one worker, because its work
+// scales with the occupied windows — empty tiles are skipped — while
+// the monolithic window pays full-grid FFTs for the whole canvas.
+// Worker fan-out across tiles stacks on top of that on multi-core
+// hosts. The same file then gates the scaling win:
+//
+//	benchdiff -old-labels monolithic -new-labels tiled \
+//	    BENCH_tiled.json BENCH_tiled.json
+//
+// Quality parity between the two paths is enforced separately by
+// TestTiledMatchesMonolithic (EPE/PVB on B1).
+func tiledMain(out, note, filter string) {
+	const (
+		maxIter = 10 // matches the Table2PerCase measurements
+		pitchNM = 16
+		kernels = 4 // PresetTest optics
+	)
+
+	eng := lsopc.GPUEngine()
+	// 4x4 cell array, 4 occupied slots scattered across it (the cycle
+	// places B1/B4 at (0,0), (1,1), (0,2) and (1,3)).
+	chip, err := layouts.Chip(4, 4, []string{"B1", "-", "-", "-", "-", "B4", "-", "-"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	opts := lsopc.DefaultLevelSetOptions()
+	opts.MaxIter = maxIter
+	topts := lsopc.TileOptions{
+		HaloNM:       256,
+		Core:         opts,
+		StitchPasses: 2,
+		StitchIters:  4,
+	}
+
+	// One un-timed tiled run up front: verifies the decomposition is a
+	// real multi-tile problem and captures its shape for the run notes.
+	// The probe pipeline is released again so each timed variant below
+	// runs with only its own pipeline resident (a chip-spanning bank
+	// plus a tile bank at once would distort both via GC pressure).
+	shape := ""
+	{
+		probePipe, err := lsopc.NewPipeline(lsopc.PresetTest, eng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		probe, err := probePipe.OptimizeTiled(chip, topts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		probePipe.Release()
+		if len(probe.Grid.Tiles) < 4 {
+			fmt.Fprintf(os.Stderr, "benchjson: chip decomposes into %d tiles, want >= 4\n", len(probe.Grid.Tiles))
+			os.Exit(1)
+		}
+		occupied := 0
+		for _, st := range probe.Tiles {
+			if !st.Empty {
+				occupied++
+			}
+		}
+		shape = fmt.Sprintf("%s: %dx%d nm, %dx%d tiles / %d non-empty (window %d nm, halo %d nm), %d workers",
+			chip.Name, chip.W, chip.H, probe.Grid.NX, probe.Grid.NY, occupied,
+			probe.Grid.WindowNM, probe.Grid.HaloNM, probe.Workers)
+		fmt.Fprintln(os.Stderr, shape)
+	}
+
+	variants := []struct {
+		label string
+		note  string
+		run   func() (func() error, func())
+	}{
+		{"monolithic", "one chip-spanning window; " + shape, func() (func() error, func()) {
+			// Monolithic: one window spanning the whole chip.
+			mono, err := lsopc.NewCustomPipeline(chip.W/pitchNM, pitchNM, kernels, eng)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			return func() error {
+				_, err := mono.OptimizeLevelSet(chip, opts)
+				return err
+			}, mono.Release
+		}},
+		{"tiled", "OptimizeTiled with overlap-halo stitching; " + shape + "; " + note, func() (func() error, func()) {
+			// Tiled: PresetTest windows (128 px = 2048 nm) over the chip.
+			tiledPipe, err := lsopc.NewPipeline(lsopc.PresetTest, eng)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			return func() error {
+				_, err := tiledPipe.OptimizeTiled(chip, topts)
+				return err
+			}, tiledPipe.Release
+		}},
+	}
+
+	file := benchfmt.File{
+		Description: "Full-chip optimization wall time (10 iterations) on a sparse 4x4 cell-array chip (4 occupied slots, like real designs): one monolithic chip-spanning simulation window vs parallel tiled optimization with overlap-halo stitching (window = PresetTest grid, empty tiles skipped). Seam quality parity is enforced by TestTiledMatchesMonolithic; this artefact locks in the tiled scaling via cmd/benchdiff (-old-labels monolithic -new-labels tiled).",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Runs:        map[string]benchfmt.Run{},
+	}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	if file.Runs == nil {
+		file.Runs = map[string]benchfmt.Run{}
+	}
+
+	name := "FullChip/" + chip.Name
+	if filter != "" && !strings.Contains(name, filter) {
+		fmt.Fprintf(os.Stderr, "benchjson: filter %q excludes %s, nothing to do\n", filter, name)
+		return
+	}
+	for _, v := range variants {
+		fmt.Fprintf(os.Stderr, "running %-12s %-22s ", v.label, name)
+		iter, release := v.run()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := iter(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		release()
+		runtime.GC()
+		m := benchfmt.Measurement{
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		file.Runs[v.label] = benchfmt.Run{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Note:       v.note,
+			Benchmarks: map[string]benchfmt.Measurement{name: m},
+		}
+		fmt.Fprintf(os.Stderr, "%12d ns/op (n=%d)\n", m.NsPerOp, m.Iterations)
+	}
+
+	if err := file.Save(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (labels monolithic+tiled)\n", out)
+}

@@ -8,6 +8,8 @@
 //	lsopc -case B1 -iters 30 -pvb-weight 0.8 -out mask.pgm -ascii
 //	lsopc -case B4 -tracefile run.jsonl          # structured event trace
 //	lsopc -case B4 -metrics 127.0.0.1:6060       # live /metrics + pprof
+//	lsopc -glp chip.glp -tiled -tile-workers 4   # full-chip tiled run
+//	lsopc -glp chip.glp -tiled -halo 320 -stitch-passes 3 -out chip.pgm
 package main
 
 import (
@@ -37,16 +39,32 @@ func main() {
 		health    = flag.Bool("health", false, "run the numerical-health watchdog (NaN/Inf, stall, divergence detection; aborts the run on an unhealthy iteration)")
 		multires  = flag.Int("multires", 1, "coarse-to-fine start factor (power of two): begin on a grid downsampled by this factor, halving each level; 1 = single resolution")
 		precision = flag.String("precision", "float64", "forward-model precision: float64 (bit-exact reference) | float32 (fast path)")
+
+		tiled        = flag.Bool("tiled", false, "full-chip tiled optimization: decompose the layout into overlapping tiles (the preset's grid is the tile window), optimize them concurrently and stitch the seams (level-set only)")
+		halo         = flag.Int("halo", 0, "tile overlap halo in nm (0 = derive from the SOCS kernel energy support)")
+		tileWorkers  = flag.Int("tile-workers", 0, "concurrent tile sessions (0 = one per engine worker)")
+		stitchPasses = flag.Int("stitch-passes", 0, "max halo-stitching consistency passes (0 = default 2, negative = none)")
+		stitchIters  = flag.Int("stitch-iters", 0, "per-tile iteration budget inside a stitch pass (0 = max(4, iters/4))")
 	)
 	flag.Parse()
 
-	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics, *health, *multires, *precision); err != nil {
+	tc := tileConfig{enabled: *tiled, halo: *halo, workers: *tileWorkers, stitchPasses: *stitchPasses, stitchIters: *stitchIters}
+	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics, *health, *multires, *precision, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "lsopc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string, health bool, multires int, precisionStr string) error {
+// tileConfig carries the -tiled flag family.
+type tileConfig struct {
+	enabled      bool
+	halo         int
+	workers      int
+	stitchPasses int
+	stitchIters  int
+}
+
+func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string, health bool, multires int, precisionStr string, tc tileConfig) error {
 	preset, err := lsopc.ParsePreset(presetStr)
 	if err != nil {
 		return err
@@ -107,6 +125,10 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 	fmt.Printf("layout %s: %d shapes, pattern area %d nm²\n", layout.Name, layout.ShapeCount(), layout.Area())
 	fmt.Printf("preset %s: %d px @ %g nm/px, engine %s\n", preset, pipe.GridSize(), pipe.PixelNM(), eng.Name())
 
+	if tc.enabled {
+		return runTiled(pipe, layout, method, iters, pvbWeight, multires, outPath, outGLP, tc)
+	}
+
 	var result *lsopc.RunResult
 	switch method {
 	case "level-set":
@@ -163,6 +185,74 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 		fmt.Println("printed image with target contour ('+': contour printed, 'x': contour missing, '#': printed):")
 		fmt.Print(render.ContourOverlayASCII(target, printed, 100))
 	}
+	if outPath != "" {
+		if err := render.SavePGM(outPath, result.Mask, 0, 1); err != nil {
+			return err
+		}
+		fmt.Printf("mask written to %s\n", outPath)
+	}
+	if outGLP != "" {
+		maskLayout := lsopc.MaskToLayout(layout.Name+"_mask", result.Mask, int(pipe.PixelNM()))
+		if err := lsopc.SaveGLP(outGLP, maskLayout); err != nil {
+			return err
+		}
+		fmt.Printf("mask geometry (%d rects) written to %s\n", len(maskLayout.Rects), outGLP)
+	}
+	return nil
+}
+
+// runTiled is the -tiled mode: a full-chip tiled optimization whose
+// tile window is the pipeline's simulation grid. The contest report is
+// skipped — its checkers evaluate a single simulation window, not a
+// chip — in favour of the per-tile and seam-convergence summary.
+func runTiled(pipe *lsopc.Pipeline, layout *lsopc.Layout, method string, iters int, pvbWeight float64, multires int, outPath, outGLP string, tc tileConfig) error {
+	if method != "level-set" {
+		return fmt.Errorf("-tiled supports only the level-set method (got %q)", method)
+	}
+	opts := lsopc.DefaultLevelSetOptions()
+	if iters > 0 {
+		opts.MaxIter = iters
+	}
+	if pvbWeight >= 0 {
+		opts.PVBWeight = pvbWeight
+	}
+	opts.MultiResFactor = multires
+
+	result, err := pipe.OptimizeTiled(layout, lsopc.TileOptions{
+		HaloNM:       tc.halo,
+		Workers:      tc.workers,
+		Core:         opts,
+		StitchPasses: tc.stitchPasses,
+		StitchIters:  tc.stitchIters,
+	})
+	if err != nil {
+		return err
+	}
+	g := result.Grid
+	fmt.Printf("tiled: %dx%d tiles (window %d nm, halo %d nm, core %d nm), %d workers\n",
+		g.NX, g.NY, g.WindowNM, g.HaloNM, g.CoreNM, result.Workers)
+	for _, st := range result.Tiles {
+		switch {
+		case st.Empty:
+			fmt.Printf("  tile %2d (%d,%d): empty window, skipped\n", st.Index+1, st.IX, st.IY)
+		default:
+			verdict := "budget"
+			if st.Converged {
+				verdict = "converged"
+			}
+			fmt.Printf("  tile %2d (%d,%d): %3d iters, %s, %v\n",
+				st.Index+1, st.IX, st.IY, st.Iterations, verdict, st.Dur.Round(1e6))
+		}
+	}
+	seamVerdict := "NOT converged"
+	if result.SeamConverged {
+		seamVerdict = "converged"
+	}
+	fmt.Printf("seams: worst disagreement %.4f after %d stitch passes (%s)\n",
+		result.Seam, result.Passes, seamVerdict)
+	fmt.Printf("tiled run finished in %v (chip mask %dx%d px)\n",
+		result.Elapsed.Round(1e6), result.Mask.W, result.Mask.H)
+
 	if outPath != "" {
 		if err := render.SavePGM(outPath, result.Mask, 0, 1); err != nil {
 			return err

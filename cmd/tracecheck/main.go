@@ -3,9 +3,11 @@
 // stream). It fails with a non-zero exit when a line is not valid JSON,
 // an event carries no type, or the sink-assigned sequence numbers are
 // not strictly increasing — the integrity invariants concurrent
-// sessions rely on. With -require it additionally asserts that given
-// event types are present, so CI can prove a run actually exercised the
-// instrumented layers.
+// sessions rely on. Tiled-run events carry structural invariants of
+// their own: tile_start/tile_done must name a tile ordinal ≥ 1, and
+// stitch_pass must name a pass ≥ 1 over ≥ 1 re-optimized tiles. With
+// -require it additionally asserts that given event types are present,
+// so CI can prove a run actually exercised the instrumented layers.
 //
 // Usage:
 //
@@ -103,6 +105,22 @@ func check(in io.Reader) (map[string]int, error) {
 				return nil, fmt.Errorf("line %d: seq %d not strictly increasing after %d", line, e.Seq, lastSeq)
 			}
 			lastSeq = e.Seq
+		}
+		switch e.Type {
+		case obs.EventTileStart, obs.EventTileDone:
+			if e.Tile < 1 {
+				return nil, fmt.Errorf("line %d: %s without a tile ordinal (tile=%d)", line, e.Type, e.Tile)
+			}
+			if e.Pass < 0 {
+				return nil, fmt.Errorf("line %d: %s with negative pass %d", line, e.Type, e.Pass)
+			}
+		case obs.EventStitchPass:
+			if e.Pass < 1 {
+				return nil, fmt.Errorf("line %d: stitch_pass with pass %d, want ≥ 1", line, e.Pass)
+			}
+			if e.N < 1 {
+				return nil, fmt.Errorf("line %d: stitch_pass re-optimizing %d tiles, want ≥ 1", line, e.N)
+			}
 		}
 		counts[e.Type]++
 	}

@@ -24,6 +24,33 @@ func TestCheckCountsPerType(t *testing.T) {
 	}
 }
 
+func TestCheckTiledEvents(t *testing.T) {
+	good := strings.Join([]string{
+		`{"type":"tile_start","seq":1,"tile":1,"pass":0}`,
+		`{"type":"tile_done","seq":2,"tile":1,"pass":0,"dur_ns":100}`,
+		`{"type":"stitch_pass","seq":3,"pass":1,"n":2,"seam":0.03}`,
+	}, "\n") + "\n"
+	counts, err := check(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["tile_start"] != 1 || counts["tile_done"] != 1 || counts["stitch_pass"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+
+	bad := map[string]string{
+		"tile_start without tile": `{"type":"tile_start","seq":1,"pass":0}` + "\n",
+		"tile_done tile 0":        `{"type":"tile_done","seq":1,"tile":0}` + "\n",
+		"stitch_pass without n":   `{"type":"stitch_pass","seq":1,"pass":1}` + "\n",
+		"stitch_pass pass 0":      `{"type":"stitch_pass","seq":1,"pass":0,"n":2}` + "\n",
+	}
+	for name, trace := range bad {
+		if _, err := check(strings.NewReader(trace)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestCheckRejectsEmptyTrace(t *testing.T) {
 	if _, err := check(strings.NewReader("")); err == nil {
 		t.Fatal("empty trace accepted")

@@ -5,7 +5,8 @@
 // per-session convergence summaries (slope of ln(cost), stalls,
 // non-finite costs, divergence, watchdog health events). Coarse-to-fine
 // traces additionally get per-resolution-level convergence segments and
-// per-grid-size corner phases ("corner:…@64").
+// per-grid-size corner phases ("corner:…@64"). Tiled runs (lsopc -tiled)
+// get per-tile latency percentiles and a stitch-pass convergence table.
 //
 // Usage:
 //
@@ -129,6 +130,23 @@ func printRun(r *analyze.Run, topN int) {
 	if r.Pool.Total() > 0 {
 		fmt.Printf("pool:       %.1f%% hit (%d/%d leases, %d releases)\n",
 			100*r.Pool.Rate(), r.Pool.Hits, r.Pool.Total(), r.PoolReleases)
+	}
+
+	if td := r.Tiled; td != nil {
+		fmt.Printf("\ntiled: %d tiles, %d tile runs (%d converged)\n", td.Tiles, td.Runs, td.Converged)
+		if td.Runs > 0 {
+			fmt.Printf("  tile latency: mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+				fmtDur(int64(td.MeanTileNS)), fmtDur(int64(td.P50TileNS)),
+				fmtDur(int64(td.P95TileNS)), fmtDur(int64(td.P99TileNS)), fmtDur(td.MaxTileNS))
+		}
+		for _, sp := range td.Stitch {
+			verdict := "OPEN"
+			if sp.Converged {
+				verdict = "converged"
+			}
+			fmt.Printf("  stitch pass %d: %d tiles re-optimized, seam %.4f, %s (%s)\n",
+				sp.Pass, sp.Tiles, sp.Seam, verdict, fmtDur(sp.DurNS))
+		}
 	}
 
 	if len(r.Phases) > 0 {

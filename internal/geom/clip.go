@@ -1,0 +1,146 @@
+package geom
+
+import "fmt"
+
+// Intersect returns the overlap of r and s, or an empty rectangle when
+// they are disjoint.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		X0: max(r.X0, s.X0), Y0: max(r.Y0, s.Y0),
+		X1: min(r.X1, s.X1), Y1: min(r.Y1, s.Y1),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Clip returns the part of the layout inside the half-open window,
+// translated so the window origin becomes (0,0). The result's canvas is
+// the window extent. Rectangles clip to their intersection with the
+// window; polygons are decomposed into disjoint rectangles by slab
+// (scanline) decomposition of the region polygon ∩ window, which is
+// robust for rectilinear polygons that the window splits into several
+// pieces and never produces the degenerate bridge edges of
+// Sutherland–Hodgman clipping. Rasterising the clip therefore matches
+// the corresponding window of the full layout's rasterisation exactly.
+//
+// Shapes entirely outside the window are dropped; the result may have
+// zero shapes (Validate would report ErrEmptyLayout), which callers
+// tiling empty chip regions must tolerate.
+func (l *Layout) Clip(window Rect) *Layout {
+	out := &Layout{
+		Name: fmt.Sprintf("%s@%d,%d", l.Name, window.X0, window.Y0),
+		W:    window.W(),
+		H:    window.H(),
+	}
+	for _, r := range l.Rects {
+		c := r.Intersect(window)
+		if c.Empty() {
+			continue
+		}
+		out.Rects = append(out.Rects, Rect{
+			X0: c.X0 - window.X0, Y0: c.Y0 - window.Y0,
+			X1: c.X1 - window.X0, Y1: c.Y1 - window.Y0,
+		})
+	}
+	for _, p := range l.Polys {
+		out.Rects = append(out.Rects, clipPolygon(p, window)...)
+	}
+	return out
+}
+
+// clipPolygon decomposes polygon ∩ window into disjoint rectangles,
+// translated to window-local coordinates. Slabs are bounded by the
+// polygon's vertex y-coordinates (clamped to the window); within each
+// slab the interior is a fixed set of x-intervals found by the same
+// even-odd vertical-edge crossing rule the rasteriser uses, evaluated at
+// the slab's half-integer midpoint so no edge is ever hit exactly.
+// Vertically adjacent rectangles with identical x-extent are merged.
+func clipPolygon(p Polygon, window Rect) []Rect {
+	b := p.Bounds().Intersect(window)
+	if b.Empty() {
+		return nil
+	}
+	n := len(p.Pts)
+	type vedge struct {
+		x        int
+		yLo, yHi int
+	}
+	edges := make([]vedge, 0, n/2)
+	for i := 0; i < n; i++ {
+		a, c := p.Pts[i], p.Pts[(i+1)%n]
+		if a.X != c.X {
+			continue
+		}
+		lo, hi := a.Y, c.Y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		edges = append(edges, vedge{a.X, lo, hi})
+	}
+
+	// Slab boundaries: every vertex y inside the clipped bound, plus the
+	// bound's own top and bottom.
+	ys := make([]int, 0, n+2)
+	ys = append(ys, b.Y0, b.Y1)
+	for _, q := range p.Pts {
+		if q.Y > b.Y0 && q.Y < b.Y1 {
+			ys = append(ys, q.Y)
+		}
+	}
+	sortInts(ys)
+	ys = dedupInts(ys)
+
+	var out []Rect
+	xs := make([]int, 0, len(edges))
+	for si := 0; si+1 < len(ys); si++ {
+		ya, yb := ys[si], ys[si+1]
+		cy2 := ya + yb // 2 × slab midpoint; strictly inside (2·ya, 2·yb)
+		xs = xs[:0]
+		for _, e := range edges {
+			if cy2 > 2*e.yLo && cy2 < 2*e.yHi {
+				xs = append(xs, e.x)
+			}
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		sortInts(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			x0, x1 := max(xs[i], b.X0), min(xs[i+1], b.X1)
+			if x0 >= x1 {
+				continue
+			}
+			r := Rect{
+				X0: x0 - window.X0, Y0: ya - window.Y0,
+				X1: x1 - window.X0, Y1: yb - window.Y0,
+			}
+			// Merge with a rectangle from the previous slab that shares
+			// this exact x-extent and abuts vertically.
+			merged := false
+			for j := len(out) - 1; j >= 0 && out[j].Y1 == r.Y0; j-- {
+				if out[j].X0 == r.X0 && out[j].X1 == r.X1 {
+					out[j].Y1 = r.Y1
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice in place.
+func dedupInts(a []int) []int {
+	out := a[:0]
+	for i, v := range a {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

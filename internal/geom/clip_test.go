@@ -1,0 +1,142 @@
+package geom
+
+import "testing"
+
+// rasterEquals checks that rasterising the clipped layout at pitch 1
+// reproduces exactly the corresponding window of the full layout's
+// rasterisation — the invariant tiling depends on.
+func rasterEquals(t *testing.T, l *Layout, window Rect) *Layout {
+	t.Helper()
+	clip := l.Clip(window)
+	if clip.W != window.W() || clip.H != window.H() {
+		t.Fatalf("clip canvas %dx%d, want %dx%d", clip.W, clip.H, window.W(), window.H())
+	}
+	full, err := Rasterize(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Rasterize(clip, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.SubRegion(window.X0, window.Y0, window.W(), window.H())
+	if got.XORCount(want) != 0 {
+		t.Fatalf("clip raster differs from full-layout window %+v", window)
+	}
+	return clip
+}
+
+func TestClipRects(t *testing.T) {
+	l := &Layout{
+		Name: "rects", W: 64, H: 64,
+		Rects: []Rect{
+			{4, 4, 20, 12},   // fully inside the window
+			{28, 8, 40, 16},  // straddles the right window edge
+			{50, 50, 60, 60}, // fully outside
+			{0, 30, 64, 34},  // straddles both vertical edges
+		},
+	}
+	window := Rect{0, 0, 32, 40}
+	clip := rasterEquals(t, l, window)
+	if n := clip.ShapeCount(); n != 3 {
+		t.Fatalf("clip kept %d shapes, want 3", n)
+	}
+	if err := clip.Validate(); err != nil {
+		t.Fatalf("clip invalid: %v", err)
+	}
+	// The straddling rect must be cut at the window edge.
+	want := Rect{28, 8, 32, 16}
+	found := false
+	for _, r := range clip.Rects {
+		if r == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("straddling rect not clipped to %+v: %+v", want, clip.Rects)
+	}
+}
+
+func TestClipPolygonStraddlingSeam(t *testing.T) {
+	// A U-shaped polygon whose legs straddle the window's bottom edge:
+	// the clip must split it into two disjoint pieces with no bridge.
+	u := NewPolygon(
+		Point{10, 10}, Point{40, 10}, Point{40, 40}, Point{30, 40},
+		Point{30, 20}, Point{20, 20}, Point{20, 40}, Point{10, 40},
+	)
+	l := &Layout{Name: "u", W: 64, H: 64, Polys: []Polygon{u}}
+	window := Rect{0, 25, 64, 64}
+	clip := rasterEquals(t, l, window)
+	if err := clip.Validate(); err != nil {
+		t.Fatalf("clip invalid: %v", err)
+	}
+	area := 0
+	for _, r := range clip.Rects {
+		area += r.Area()
+	}
+	if want := 2 * 10 * 15; area != want { // two 10×15 leg stubs
+		t.Fatalf("clipped area %d, want %d (rects %+v)", area, want, clip.Rects)
+	}
+	// The two legs must be separate rects, not one bridged shape.
+	if len(clip.Rects) != 2 {
+		t.Fatalf("u-clip produced %d rects, want 2 disjoint legs: %+v", len(clip.Rects), clip.Rects)
+	}
+}
+
+func TestClipPolygonInteriorMerge(t *testing.T) {
+	// An L-polygon fully inside the window: slab decomposition plus the
+	// vertical merge must reproduce its exact area with few rects.
+	el := NewPolygon(
+		Point{8, 8}, Point{24, 8}, Point{24, 16}, Point{16, 16},
+		Point{16, 32}, Point{8, 32},
+	)
+	l := &Layout{Name: "L", W: 64, H: 64, Polys: []Polygon{el}}
+	clip := rasterEquals(t, l, Rect{0, 0, 48, 48})
+	if got, want := clip.Area(), el.Area(); got != want {
+		t.Fatalf("clipped area %d, want %d", got, want)
+	}
+	if len(clip.Rects) > 2 {
+		t.Fatalf("L decomposed into %d rects, want ≤ 2: %+v", len(clip.Rects), clip.Rects)
+	}
+}
+
+func TestClipDegenerateSliversDropped(t *testing.T) {
+	l := &Layout{
+		Name: "sliver", W: 64, H: 64,
+		Rects: []Rect{{0, 0, 10, 10}},
+		Polys: []Polygon{Rect{20, 0, 30, 10}.ToPolygon()},
+	}
+	// Window edges exactly coincide with shape edges: the half-open
+	// intersection is empty, so nothing survives — no zero-area rects.
+	clip := l.Clip(Rect{10, 0, 20, 64})
+	if clip.ShapeCount() != 0 {
+		t.Fatalf("expected empty clip, got %+v / %+v", clip.Rects, clip.Polys)
+	}
+	// One-nm sliver overlaps survive with exact extent.
+	clip = l.Clip(Rect{9, 0, 20, 64})
+	if len(clip.Rects) != 1 || clip.Rects[0] != (Rect{0, 0, 1, 10}) {
+		t.Fatalf("sliver clip = %+v, want [{0 0 1 10}]", clip.Rects)
+	}
+	rasterEquals(t, l, Rect{9, 0, 20, 64})
+}
+
+func TestClipEmptyWindow(t *testing.T) {
+	l := &Layout{Name: "far", W: 128, H: 128, Rects: []Rect{{0, 0, 16, 16}}}
+	clip := l.Clip(Rect{64, 64, 128, 128})
+	if clip.ShapeCount() != 0 {
+		t.Fatalf("expected empty clip, got %d shapes", clip.ShapeCount())
+	}
+	if err := clip.Validate(); err != ErrEmptyLayout {
+		t.Fatalf("Validate = %v, want ErrEmptyLayout", err)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if got := a.Intersect(Rect{5, 5, 20, 20}); got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("intersect = %+v", got)
+	}
+	if got := a.Intersect(Rect{10, 0, 20, 10}); !got.Empty() {
+		t.Fatalf("abutting rects intersect = %+v, want empty", got)
+	}
+}

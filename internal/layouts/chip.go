@@ -1,0 +1,82 @@
+package layouts
+
+import (
+	"fmt"
+
+	"lsopc/internal/geom"
+)
+
+// EmptyCell is the Chip cell id marking an unoccupied slot. Real chips
+// are sparse; empty slots let the composed benchmarks reflect that
+// (tiles covering them are skipped by the tiled optimizer, while a
+// monolithic window still pays for the whole canvas).
+const EmptyCell = "-"
+
+// Chip composes benchmark cells into an nx×ny cell array on a single
+// chip-scale canvas of (nx·CanvasNM)×(ny·CanvasNM) nm — the synthetic
+// "full-chip" layouts the tiled optimizer is benchmarked on, since the
+// ICCAD clips themselves are all single-window. Cells are assigned
+// deterministically in row-major order, cycling through cellIDs; the
+// id "-" (EmptyCell) leaves its slot unoccupied, and an empty cellIDs
+// uses every benchmark in contest order. Each cell's geometry is
+// translated verbatim onto its slot, so the chip's pattern area is the
+// exact sum of the placed cells' Table-I areas.
+func Chip(nx, ny int, cellIDs []string) (*geom.Layout, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("layouts: chip array %dx%d must be at least 1x1", nx, ny)
+	}
+	if len(cellIDs) == 0 {
+		cellIDs = IDs()
+	}
+	cells := make([]*geom.Layout, len(cellIDs))
+	occupied := false
+	for i, id := range cellIDs {
+		if id == EmptyCell {
+			continue
+		}
+		spec, err := ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		l, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = l
+		occupied = true
+	}
+	if !occupied {
+		return nil, fmt.Errorf("layouts: chip %dx%d has no occupied cells", nx, ny)
+	}
+
+	chip := &geom.Layout{
+		Name: fmt.Sprintf("chip_%dx%d", nx, ny),
+		W:    nx * CanvasNM,
+		H:    ny * CanvasNM,
+	}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			cell := cells[(iy*nx+ix)%len(cells)]
+			if cell == nil {
+				continue
+			}
+			dx, dy := ix*CanvasNM, iy*CanvasNM
+			for _, r := range cell.Rects {
+				chip.Rects = append(chip.Rects, geom.Rect{
+					X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy,
+				})
+			}
+			for _, p := range cell.Polys {
+				pts := make([]geom.Point, len(p.Pts))
+				for i, pt := range p.Pts {
+					pts[i] = geom.Point{X: pt.X + dx, Y: pt.Y + dy}
+				}
+				chip.Polys = append(chip.Polys, geom.NewPolygon(pts...))
+			}
+		}
+	}
+	if err := chip.Validate(); err != nil {
+		return nil, fmt.Errorf("layouts: chip %dx%d: %w", nx, ny, err)
+	}
+	return chip, nil
+}

@@ -1,0 +1,92 @@
+package layouts
+
+import "testing"
+
+func TestChipComposition(t *testing.T) {
+	chip, err := Chip(2, 2, []string{"B1", "B4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.W != 2*CanvasNM || chip.H != 2*CanvasNM {
+		t.Fatalf("chip canvas %dx%d, want %d square", chip.W, chip.H, 2*CanvasNM)
+	}
+	// Row-major cycling B1,B4,B1,B4: area is the exact sum.
+	b1, _ := ByID("B1")
+	b4, _ := ByID("B4")
+	if got, want := chip.Area(), 2*b1.PatternArea+2*b4.PatternArea; got != want {
+		t.Fatalf("chip area %d, want %d", got, want)
+	}
+	if err := chip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if chip.Name != "chip_2x2" {
+		t.Fatalf("name %q", chip.Name)
+	}
+}
+
+func TestChipDefaultsToAllBenchmarks(t *testing.T) {
+	chip, err := Chip(5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range All() {
+		want += s.PatternArea
+	}
+	if got := chip.Area(); got != want {
+		t.Fatalf("5x2 chip area %d, want sum of all ten benchmarks %d", got, want)
+	}
+}
+
+func TestChipDeterministic(t *testing.T) {
+	a, err := Chip(3, 1, []string{"B2", "B7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chip(3, 1, []string{"B2", "B7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShapeCount() != b.ShapeCount() || a.Area() != b.Area() {
+		t.Fatal("chip composition not deterministic")
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatalf("rect %d differs between builds", i)
+		}
+	}
+}
+
+func TestChipEmptySlots(t *testing.T) {
+	chip, err := Chip(2, 2, []string{"B1", "-", "-", "B4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := ByID("B1")
+	b4, _ := ByID("B4")
+	if got, want := chip.Area(), b1.PatternArea+b4.PatternArea; got != want {
+		t.Fatalf("sparse chip area %d, want %d (only slots 0 and 3 occupied)", got, want)
+	}
+	// Slot 3's cell must land at the (1,1) offset.
+	found := false
+	for _, r := range chip.Rects {
+		if r.X0 >= CanvasNM && r.Y0 >= CanvasNM {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no geometry in the bottom-right occupied slot")
+	}
+}
+
+func TestChipErrors(t *testing.T) {
+	if _, err := Chip(0, 2, nil); err == nil {
+		t.Fatal("0-wide array accepted")
+	}
+	if _, err := Chip(2, 2, []string{"B99"}); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+	if _, err := Chip(2, 2, []string{"-"}); err == nil {
+		t.Fatal("fully empty chip accepted")
+	}
+}

@@ -158,6 +158,30 @@ func (h HitRate) Rate() float64 {
 // Total returns the lookup count.
 func (h HitRate) Total() int { return h.Hits + h.Misses }
 
+// StitchPassStat is one halo-stitching consistency pass of a tiled run.
+type StitchPassStat struct {
+	Pass      int     `json:"pass"`
+	Tiles     int     `json:"tiles"` // tiles re-optimized in this pass
+	Seam      float64 `json:"seam"`  // worst seam disagreement after the pass
+	Converged bool    `json:"converged"`
+	DurNS     int64   `json:"dur_ns"`
+}
+
+// TiledStats summarises a tiled run: how many distinct tiles ran, the
+// per-tile latency percentiles over every tile optimization (initial
+// sweep plus stitch re-runs), and the stitch-pass convergence series.
+type TiledStats struct {
+	Tiles      int              `json:"tiles"`
+	Runs       int              `json:"runs"`
+	Converged  int              `json:"converged"` // tile runs that hit tolerance
+	MeanTileNS float64          `json:"mean_tile_ns"`
+	P50TileNS  float64          `json:"p50_tile_ns"`
+	P95TileNS  float64          `json:"p95_tile_ns"`
+	P99TileNS  float64          `json:"p99_tile_ns"`
+	MaxTileNS  int64            `json:"max_tile_ns"`
+	Stitch     []StitchPassStat `json:"stitch,omitempty"`
+}
+
 // Run is one fully parsed trace file.
 type Run struct {
 	Label  string `json:"label,omitempty"` // file name or caller-set tag
@@ -173,6 +197,11 @@ type Run struct {
 	PoolReleases int `json:"pool_releases"`
 	// Health is every watchdog event in the trace, in order.
 	Health []obs.Event `json:"health,omitempty"`
+	// Tiled is populated when the trace carries tile/stitch events.
+	Tiled *TiledStats `json:"tiled,omitempty"`
+
+	tileDurs []int64
+	tileSet  map[int]bool
 
 	phaseIdx map[string]int
 	// levelDurs buffers per-grid-size corner samples ("corner:…@128");
@@ -301,6 +330,30 @@ func Parse(in io.Reader, th Thresholds) (*Run, error) {
 			run.Health = append(run.Health, e)
 			s := run.session(e.Trace, "")
 			s.Health = append(s.Health, HealthEvent{Iter: e.Iter, Reason: e.Msg, Cost: e.Cost})
+		case obs.EventTileDone:
+			if run.Tiled == nil {
+				run.Tiled = &TiledStats{}
+				run.tileSet = map[int]bool{}
+			}
+			run.Tiled.Runs++
+			if e.Hit {
+				run.Tiled.Converged++
+			}
+			run.tileSet[e.Tile] = true
+			run.tileDurs = append(run.tileDurs, e.DurNS)
+			if e.DurNS > run.Tiled.MaxTileNS {
+				run.Tiled.MaxTileNS = e.DurNS
+			}
+			run.observePhase("tile", e.DurNS)
+		case obs.EventStitchPass:
+			if run.Tiled == nil {
+				run.Tiled = &TiledStats{}
+				run.tileSet = map[int]bool{}
+			}
+			run.Tiled.Stitch = append(run.Tiled.Stitch, StitchPassStat{
+				Pass: e.Pass, Tiles: e.N, Seam: e.Seam, Converged: e.Hit, DurNS: e.DurNS,
+			})
+			run.observePhase("stitch_pass", e.DurNS)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -384,6 +437,22 @@ func (r *Run) finalize(th Thresholds) {
 		s.Levels = buildLevels(s, th)
 		s.switches = nil
 	}
+	if r.Tiled != nil {
+		r.Tiled.Tiles = len(r.tileSet)
+		if n := len(r.tileDurs); n > 0 {
+			sort.Slice(r.tileDurs, func(a, b int) bool { return r.tileDurs[a] < r.tileDurs[b] })
+			var total int64
+			for _, d := range r.tileDurs {
+				total += d
+			}
+			r.Tiled.MeanTileNS = float64(total) / float64(n)
+			r.Tiled.P50TileNS = percentile(r.tileDurs, 0.50)
+			r.Tiled.P95TileNS = percentile(r.tileDurs, 0.95)
+			r.Tiled.P99TileNS = percentile(r.tileDurs, 0.99)
+		}
+		sort.Slice(r.Tiled.Stitch, func(a, b int) bool { return r.Tiled.Stitch[a].Pass < r.Tiled.Stitch[b].Pass })
+	}
+	r.tileDurs, r.tileSet = nil, nil
 }
 
 // buildLevels slices a coarse-to-fine session's iteration series into

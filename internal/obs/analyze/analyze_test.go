@@ -167,6 +167,60 @@ func TestParseDetectsDivergence(t *testing.T) {
 	}
 }
 
+func TestParseTiledRun(t *testing.T) {
+	var events []obs.Event
+	// Initial sweep: 4 tiles, tile 4 non-converged.
+	for ti := 1; ti <= 4; ti++ {
+		events = append(events,
+			obs.Event{Type: obs.EventTileStart, Trace: "job", Tile: ti, Pass: 0, Name: "{0 0 512 512}"},
+			obs.Event{Type: obs.EventTileDone, Trace: "job", Tile: ti, Pass: 0, Iter: 20, Hit: ti != 4, DurNS: int64(ti) * 1e7},
+		)
+	}
+	// Two stitch passes re-running tiles 2 and 4; second pass converges.
+	for p := 1; p <= 2; p++ {
+		for _, ti := range []int{2, 4} {
+			events = append(events,
+				obs.Event{Type: obs.EventTileStart, Trace: "job", Tile: ti, Pass: p},
+				obs.Event{Type: obs.EventTileDone, Trace: "job", Tile: ti, Pass: p, Iter: 5, Hit: true, DurNS: 1e7},
+			)
+		}
+		events = append(events, obs.Event{
+			Type: obs.EventStitchPass, Trace: "job", Pass: p, N: 2,
+			Seam: 0.04 / float64(p), Hit: p == 2, DurNS: 3e7,
+		})
+	}
+
+	run, err := Parse(traceBuf(t, events), DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := run.Tiled
+	if td == nil {
+		t.Fatal("tiled stats missing")
+	}
+	if td.Tiles != 4 || td.Runs != 8 || td.Converged != 7 {
+		t.Fatalf("tiled = %+v, want 4 tiles / 8 runs / 7 converged", td)
+	}
+	if td.MaxTileNS != 4e7 {
+		t.Fatalf("max tile = %d, want 4e7", td.MaxTileNS)
+	}
+	if td.P50TileNS <= 0 || td.P99TileNS < td.P50TileNS {
+		t.Fatalf("tile percentiles p50=%g p99=%g", td.P50TileNS, td.P99TileNS)
+	}
+	if len(td.Stitch) != 2 {
+		t.Fatalf("stitch passes = %d, want 2", len(td.Stitch))
+	}
+	if s := td.Stitch[1]; s.Pass != 2 || s.Tiles != 2 || !s.Converged || s.Seam != 0.02 {
+		t.Fatalf("stitch[1] = %+v", s)
+	}
+	if ph := run.Phase("tile"); ph == nil || ph.Count != 8 {
+		t.Fatalf("tile phase = %+v, want count 8", ph)
+	}
+	if ph := run.Phase("stitch_pass"); ph == nil || ph.Count != 2 {
+		t.Fatalf("stitch_pass phase = %+v, want count 2", ph)
+	}
+}
+
 func TestParseRejectsEmptyAndMalformed(t *testing.T) {
 	if _, err := Parse(strings.NewReader(""), DefaultThresholds()); err == nil {
 		t.Fatal("empty trace accepted")

@@ -62,6 +62,20 @@ const (
 	// the old and new grid edges, Iter the global iteration at which the
 	// switch happened, and DurNS the φ interpolation + redistancing time.
 	EventLevelSwitch = "level_switch"
+	// EventTileStart marks a tile optimization being picked up by a
+	// worker: Tile carries the 1-based tile ordinal, Pass the stitch pass
+	// (0 = initial independent sweep), Name the tile's core rect.
+	EventTileStart = "tile_start"
+	// EventTileDone is the matching completion record: same Tile/Pass
+	// plus DurNS wall time, Iter the iterations the tile ran, and Hit
+	// reporting whether the tile's optimizer converged.
+	EventTileDone = "tile_done"
+	// EventStitchPass summarizes one halo-stitching consistency pass:
+	// Pass is the 1-based pass number, N the number of tiles
+	// re-optimized, Seam the worst seam-strip mask disagreement fraction
+	// after blending, Hit whether the seams converged below tolerance,
+	// and DurNS the pass wall time.
+	EventStitchPass = "stitch_pass"
 )
 
 // Event is one structured trace record. It is a flat union of the
@@ -79,8 +93,12 @@ type Event struct {
 	Iter   int    `json:"iter,omitempty"`
 	N      int    `json:"n,omitempty"`     // plan length, pool elements or new grid edge
 	OldN   int    `json:"old_n,omitempty"` // previous grid edge (level_switch)
-	Hit    bool   `json:"hit,omitempty"`   // cache/pool hit
+	Tile   int    `json:"tile,omitempty"`  // 1-based tile ordinal (tile_start/tile_done)
+	Pass   int    `json:"pass,omitempty"`  // stitch pass number (0 = initial sweep)
+	Hit    bool   `json:"hit,omitempty"`   // cache/pool hit, tile converged, seams converged
 	DurNS  int64  `json:"dur_ns,omitempty"`
+
+	Seam float64 `json:"seam,omitempty"` // seam-strip mask disagreement fraction
 
 	Cost        float64 `json:"cost,omitempty"`
 	CostNominal float64 `json:"cost_nominal,omitempty"`
@@ -153,8 +171,12 @@ type eventJSON struct {
 	Iter   int    `json:"iter,omitempty"`
 	N      int    `json:"n,omitempty"`
 	OldN   int    `json:"old_n,omitempty"`
+	Tile   int    `json:"tile,omitempty"`
+	Pass   int    `json:"pass,omitempty"`
 	Hit    bool   `json:"hit,omitempty"`
 	DurNS  int64  `json:"dur_ns,omitempty"`
+
+	Seam traceFloat `json:"seam,omitempty"`
 
 	Cost        traceFloat `json:"cost,omitempty"`
 	CostNominal traceFloat `json:"cost_nominal,omitempty"`
@@ -173,7 +195,9 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(eventJSON{
 		Type: e.Type, Seq: e.Seq, TimeNS: e.TimeNS, Trace: e.Trace,
 		Name: e.Name, Engine: e.Engine, Corner: e.Corner,
-		Iter: e.Iter, N: e.N, OldN: e.OldN, Hit: e.Hit, DurNS: e.DurNS,
+		Iter: e.Iter, N: e.N, OldN: e.OldN, Tile: e.Tile, Pass: e.Pass,
+		Hit: e.Hit, DurNS: e.DurNS,
+		Seam:        traceFloat(e.Seam),
 		Cost:        traceFloat(e.Cost),
 		CostNominal: traceFloat(e.CostNominal),
 		CostPVB:     traceFloat(e.CostPVB),
@@ -194,7 +218,9 @@ func (e *Event) UnmarshalJSON(b []byte) error {
 	*e = Event{
 		Type: j.Type, Seq: j.Seq, TimeNS: j.TimeNS, Trace: j.Trace,
 		Name: j.Name, Engine: j.Engine, Corner: j.Corner,
-		Iter: j.Iter, N: j.N, OldN: j.OldN, Hit: j.Hit, DurNS: j.DurNS,
+		Iter: j.Iter, N: j.N, OldN: j.OldN, Tile: j.Tile, Pass: j.Pass,
+		Hit: j.Hit, DurNS: j.DurNS,
+		Seam:        float64(j.Seam),
 		Cost:        float64(j.Cost),
 		CostNominal: float64(j.CostNominal),
 		CostPVB:     float64(j.CostPVB),
@@ -229,6 +255,14 @@ func (e Event) String() string {
 	case EventLevelSwitch:
 		return fmt.Sprintf("%s %s iter=%d %d->%d interp=%.3fms",
 			e.Type, e.Trace, e.Iter, e.OldN, e.N, float64(e.DurNS)/1e6)
+	case EventTileStart:
+		return fmt.Sprintf("%s %s tile=%d pass=%d %s", e.Type, e.Trace, e.Tile, e.Pass, e.Name)
+	case EventTileDone:
+		return fmt.Sprintf("%s %s tile=%d pass=%d iters=%d converged=%v %.3fms",
+			e.Type, e.Trace, e.Tile, e.Pass, e.Iter, e.Hit, float64(e.DurNS)/1e6)
+	case EventStitchPass:
+		return fmt.Sprintf("%s %s pass=%d tiles=%d seam=%.6g converged=%v %.3fms",
+			e.Type, e.Trace, e.Pass, e.N, e.Seam, e.Hit, float64(e.DurNS)/1e6)
 	default:
 		return fmt.Sprintf("%s %s %s", e.Type, e.Trace, e.Msg)
 	}

@@ -88,6 +88,40 @@ func TestEventNonFiniteRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEventTiledFieldsRoundTrip(t *testing.T) {
+	events := []Event{
+		{Type: EventTileStart, Trace: "job", Tile: 3, Pass: 2, Name: "{0 0 512 512}"},
+		{Type: EventTileDone, Trace: "job", Tile: 3, Pass: 2, Iter: 7, Hit: true, DurNS: 42},
+		{Type: EventStitchPass, Trace: "job", Pass: 1, N: 4, Seam: 0.0375, Hit: false, DurNS: 99},
+	}
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Event
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Tile != e.Tile || got.Pass != e.Pass || got.Seam != e.Seam ||
+			got.N != e.N || got.Hit != e.Hit || got.DurNS != e.DurNS || got.Iter != e.Iter {
+			t.Fatalf("round trip %s: got %+v, want %+v", e.Type, got, e)
+		}
+		if got.String() == "" {
+			t.Fatalf("%s has no String rendering", e.Type)
+		}
+	}
+	// Pass 0 (initial sweep) must be omitted from the wire form, while
+	// tile ordinals (1-based) always survive.
+	b, _ := json.Marshal(Event{Type: EventTileStart, Tile: 1, Pass: 0})
+	if bytes.Contains(b, []byte(`"pass"`)) {
+		t.Fatalf("pass 0 not omitted: %s", b)
+	}
+	if !bytes.Contains(b, []byte(`"tile":1`)) {
+		t.Fatalf("tile ordinal missing: %s", b)
+	}
+}
+
 // errorSink is a Flusher whose Flush always fails.
 type errorSink struct{ err error }
 

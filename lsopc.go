@@ -32,6 +32,7 @@ import (
 	"lsopc/internal/pixelilt"
 	"lsopc/internal/procwin"
 	"lsopc/internal/rt"
+	"lsopc/internal/tiling"
 )
 
 // Re-exported types so downstream code only imports this package.
@@ -65,6 +66,19 @@ type (
 	// litho.Precision): Float64 is the bit-exact default, Float32 the
 	// reduced-precision fast path.
 	Precision = litho.Precision
+	// TileOptions configures a tiled full-chip optimization (halo
+	// width, worker count, per-tile schedule, stitch budget).
+	TileOptions = tiling.Options
+	// TiledResult is a completed tiled optimization: the chip-scale
+	// mask/ψ plus per-tile stats and seam convergence.
+	TiledResult = tiling.Result
+	// TileStat is the per-tile outcome inside a TiledResult.
+	TileStat = tiling.TileStat
+	// TileGrid is the tile decomposition (windows, cores, halo).
+	TileGrid = tiling.Grid
+	// TileAbortError reports the tile whose watchdog abort failed a
+	// tiled run (errors.As-compatible).
+	TileAbortError = tiling.TileAbortError
 )
 
 // Forward-model precisions, re-exported.
@@ -88,6 +102,12 @@ const (
 	EventHealth    = obs.EventHealth    // one numerical-health verdict
 	// EventLevelSwitch marks one coarse-to-fine resolution hand-off.
 	EventLevelSwitch = obs.EventLevelSwitch
+	// EventTileStart marks one tile optimization being picked up.
+	EventTileStart = obs.EventTileStart
+	// EventTileDone marks one tile optimization completing.
+	EventTileDone = obs.EventTileDone
+	// EventStitchPass summarizes one halo-stitching consistency pass.
+	EventStitchPass = obs.EventStitchPass
 )
 
 // DefaultHealthPolicy returns the standard watchdog configuration: all
@@ -175,6 +195,10 @@ const (
 	PresetPaper
 )
 
+// PresetCustom marks a pipeline built with NewCustomPipeline (explicit
+// grid/pitch/kernels instead of a named scale).
+const PresetCustom Preset = -1
+
 // String implements fmt.Stringer.
 func (p Preset) String() string {
 	switch p {
@@ -184,6 +208,8 @@ func (p Preset) String() string {
 		return "fast"
 	case PresetPaper:
 		return "paper"
+	case PresetCustom:
+		return "custom"
 	default:
 		return fmt.Sprintf("Preset(%d)", int(p))
 	}
@@ -294,6 +320,35 @@ func NewPipeline(p Preset, eng *Engine, opts ...PipelineOption) (*Pipeline, erro
 	}
 	pipe := &Pipeline{
 		preset:  p,
+		eng:     eng,
+		cfg:     cfg,
+		res:     res,
+		metrics: metrics.DefaultConfig(pixelNM),
+	}
+	for _, opt := range opts {
+		opt(pipe)
+	}
+	return pipe, nil
+}
+
+// NewCustomPipeline builds a pipeline at an explicit simulation scale —
+// gridSize pixels at pixelNM nm pitch with the given SOCS kernel count —
+// instead of a named preset. This is how tiled runs pick a tile-window
+// size independent of the preset canvases, and how monolithic reference
+// runs cover chip-sized grids. The same process-wide bank sharing as
+// NewPipeline applies (banks are keyed by the optics configuration).
+func NewCustomPipeline(gridSize int, pixelNM float64, kernels int, eng *Engine, opts ...PipelineOption) (*Pipeline, error) {
+	if eng == nil {
+		eng = engine.CPU()
+	}
+	cfg := litho.DefaultConfig(gridSize, pixelNM)
+	cfg.Optics.Kernels = kernels
+	res, err := rt.BankFor(cfg.Optics, cfg.DefocusNM, eng)
+	if err != nil {
+		return nil, err
+	}
+	pipe := &Pipeline{
+		preset:  PresetCustom,
 		eng:     eng,
 		cfg:     cfg,
 		res:     res,
@@ -618,6 +673,44 @@ func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult,
 		LevelSet: res,
 	}, nil
 }
+
+// OptimizeTiled optimizes a full-chip layout larger than the pipeline's
+// simulation window by tile decomposition with overlap-halo stitching
+// (see internal/tiling and DESIGN.md §11): the chip is split into
+// core+halo tiles the size of this pipeline's grid, tiles run
+// concurrently on sessions sharing the pipeline's resource bank, and
+// stitch passes blend ψ across seams and re-optimize disagreeing tiles
+// until seams converge. The result's Mask/Psi are chip-resolution
+// (chip extent ÷ pipeline pitch). The run inherits the pipeline's trace
+// sink (events tagged with a fresh job id, per-tile runs as
+// "<job>.t<n>") and health policy; a watchdog-aborted tile fails the
+// whole run with a *TileAbortError. Safe to call concurrently.
+func (p *Pipeline) OptimizeTiled(l *Layout, opts TileOptions) (*TiledResult, error) {
+	if opts.Sink == nil && p.sink != nil {
+		opts.Sink = p.sink
+		opts.TraceID = fmt.Sprintf("s%d", p.traceSeq.Add(1))
+	}
+	if opts.Health == nil {
+		opts.Health = p.health
+	}
+	start := time.Now()
+	res, err := tiling.Optimize(p.res, p.cfg, p.eng, l, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Sink != nil {
+		opts.Sink.Emit(obs.Event{
+			Type: obs.EventSpan, Trace: opts.TraceID, Name: "optimize.tiled",
+			Engine: p.eng.Name(), DurNS: time.Since(start).Nanoseconds(),
+		})
+	}
+	return res, nil
+}
+
+// DefaultTileHaloNM returns the halo width a tiled run on this pipeline
+// derives from its SOCS kernel energy support when TileOptions.HaloNM
+// is zero.
+func (p *Pipeline) DefaultTileHaloNM() int { return tiling.DefaultHaloNM(p.res, p.eng) }
 
 // OptimizeBaseline runs one of the pixel-based comparison methods.
 // Safe to call concurrently (each call leases its own session).

@@ -13,11 +13,12 @@
 #   make benchjson - regenerate the "after" entry of BENCH_batchfft.json
 #   make benchgate - benchdiff smoke gate: identical inputs pass, a
 #               synthetically inflated copy must fail
+#   make ci      - build + vet + gofmt hygiene + test, the CI bundle
 #   make check   - build + vet + test + race, the pre-commit bundle
 
 GO ?= go
 
-.PHONY: all build test race vet bench benchjson benchsessions trace benchgate check
+.PHONY: all build test race vet fmtcheck ci bench benchjson benchsessions trace benchgate check
 
 all: check
 
@@ -33,7 +34,7 @@ test:
 # the observability layer (shared sinks, atomic metrics), and the root
 # package's concurrent-pipeline equivalence and trace-integrity tests.
 race:
-	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/pixelilt ./internal/rt ./internal/obs ./internal/tiling .
+	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/pixelilt ./internal/rt ./internal/obs ./internal/solve ./internal/tiling .
 
 # One instrumented benchmark run; fails if the emitted JSONL trace is
 # malformed or missing any event family of the taxonomy (DESIGN.md §9),
@@ -74,6 +75,20 @@ benchgate:
 
 vet:
 	$(GO) vet ./...
+
+# Source-hygiene gate: gofmt must have nothing to reformat. gofmt -l
+# exits 0 even when files need formatting, so the target fails on any
+# output instead.
+fmtcheck:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to reformat:"; echo "$$out"; exit 1; \
+	fi
+
+# The CI bundle: static analysis + formatting hygiene + tier-1 build and
+# tests. GitHub Actions (.github/workflows/ci.yml) runs this target plus
+# the heavier race/trace/benchgate legs.
+ci: build vet fmtcheck test
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkTable2PerCase|BenchmarkAerialExact|BenchmarkAerialFused|BenchmarkGradient$$|BenchmarkBatch' -benchmem ./...

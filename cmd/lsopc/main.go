@@ -10,75 +10,160 @@
 //	lsopc -case B4 -metrics 127.0.0.1:6060       # live /metrics + pprof
 //	lsopc -glp chip.glp -tiled -tile-workers 4   # full-chip tiled run
 //	lsopc -glp chip.glp -tiled -halo 320 -stitch-passes 3 -out chip.pgm
+//	lsopc -case B4 -checkpoint run.ckpt          # Ctrl-C writes a resumable checkpoint
+//	lsopc -case B4 -resume run.ckpt              # continue it bit-identically
+//
+// Ctrl-C (SIGINT) cancels a run gracefully: the optimizer stops at the
+// next iteration boundary, trace sinks are flushed, with -checkpoint
+// the resumable state is written out, and the process exits with
+// status 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"lsopc"
 	"lsopc/internal/render"
 )
 
-func main() {
-	var (
-		caseID    = flag.String("case", "B4", "benchmark id (B1…B10); ignored when -glp is set")
-		glpPath   = flag.String("glp", "", "optimize a GLP layout file instead of a benchmark")
-		presetStr = flag.String("preset", "fast", "simulation preset: test|fast|paper")
-		method    = flag.String("method", "level-set", "optimizer: level-set|MOSAIC_fast|MOSAIC_exact|robust|PVOPC")
-		iters     = flag.Int("iters", 0, "override the method's iteration budget (0 = default)")
-		pvbWeight = flag.Float64("pvb-weight", -1, "override w_pvb (negative = default)")
-		serial    = flag.Bool("serial", false, "run on the serial (CPU) engine instead of the parallel one")
-		outPath   = flag.String("out", "", "write the optimized mask as a PGM file")
-		outGLP    = flag.String("out-glp", "", "write the optimized mask geometry as a GLP file")
-		ascii     = flag.Bool("ascii", false, "print an ASCII preview of target vs printed image")
-		trace     = flag.Bool("trace", false, "print the per-iteration cost trace (level-set only)")
-		tracePath = flag.String("tracefile", "", "write a structured JSONL event trace (iterations, corner timings, plan-cache and pool events) to this file")
-		metrics   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. 127.0.0.1:6060)")
-		health    = flag.Bool("health", false, "run the numerical-health watchdog (NaN/Inf, stall, divergence detection; aborts the run on an unhealthy iteration)")
-		multires  = flag.Int("multires", 1, "coarse-to-fine start factor (power of two): begin on a grid downsampled by this factor, halving each level; 1 = single resolution")
-		precision = flag.String("precision", "float64", "forward-model precision: float64 (bit-exact reference) | float32 (fast path)")
+// cliConfig carries every parsed flag.
+type cliConfig struct {
+	caseID      string
+	glpPath     string
+	preset      string
+	method      string
+	iters       int
+	pvbWeight   float64
+	serial      bool
+	outPath     string
+	outGLP      string
+	ascii       bool
+	trace       bool
+	tracePath   string
+	metricsAddr string
+	health      bool
+	multires    int
+	precision   string
+	checkpoint  string
+	resume      string
 
-		tiled        = flag.Bool("tiled", false, "full-chip tiled optimization: decompose the layout into overlapping tiles (the preset's grid is the tile window), optimize them concurrently and stitch the seams (level-set only)")
-		halo         = flag.Int("halo", 0, "tile overlap halo in nm (0 = derive from the SOCS kernel energy support)")
-		tileWorkers  = flag.Int("tile-workers", 0, "concurrent tile sessions (0 = one per engine worker)")
-		stitchPasses = flag.Int("stitch-passes", 0, "max halo-stitching consistency passes (0 = default 2, negative = none)")
-		stitchIters  = flag.Int("stitch-iters", 0, "per-tile iteration budget inside a stitch pass (0 = max(4, iters/4))")
-	)
-	flag.Parse()
-
-	tc := tileConfig{enabled: *tiled, halo: *halo, workers: *tileWorkers, stitchPasses: *stitchPasses, stitchIters: *stitchIters}
-	if err := run(*caseID, *glpPath, *presetStr, *method, *iters, *pvbWeight, *serial, *outPath, *outGLP, *ascii, *trace, *tracePath, *metrics, *health, *multires, *precision, tc); err != nil {
-		fmt.Fprintln(os.Stderr, "lsopc:", err)
-		os.Exit(1)
-	}
-}
-
-// tileConfig carries the -tiled flag family.
-type tileConfig struct {
-	enabled      bool
+	tiled        bool
 	halo         int
-	workers      int
+	tileWorkers  int
 	stitchPasses int
 	stitchIters  int
 }
 
-func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64, serial bool, outPath, outGLP string, ascii, trace bool, tracePath, metricsAddr string, health bool, multires int, precisionStr string, tc tileConfig) error {
-	preset, err := lsopc.ParsePreset(presetStr)
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.caseID, "case", "B4", "benchmark id (B1…B10); ignored when -glp is set")
+	flag.StringVar(&cfg.glpPath, "glp", "", "optimize a GLP layout file instead of a benchmark")
+	flag.StringVar(&cfg.preset, "preset", "fast", "simulation preset: test|fast|paper")
+	flag.StringVar(&cfg.method, "method", "level-set", "optimizer: level-set|MOSAIC_fast|MOSAIC_exact|robust|PVOPC")
+	flag.IntVar(&cfg.iters, "iters", 0, "override the method's iteration budget (0 = default)")
+	flag.Float64Var(&cfg.pvbWeight, "pvb-weight", -1, "override w_pvb (negative = default)")
+	flag.BoolVar(&cfg.serial, "serial", false, "run on the serial (CPU) engine instead of the parallel one")
+	flag.StringVar(&cfg.outPath, "out", "", "write the optimized mask as a PGM file")
+	flag.StringVar(&cfg.outGLP, "out-glp", "", "write the optimized mask geometry as a GLP file")
+	flag.BoolVar(&cfg.ascii, "ascii", false, "print an ASCII preview of target vs printed image")
+	flag.BoolVar(&cfg.trace, "trace", false, "print the per-iteration cost trace (level-set only)")
+	flag.StringVar(&cfg.tracePath, "tracefile", "", "write a structured JSONL event trace (iterations, corner timings, plan-cache and pool events) to this file")
+	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. 127.0.0.1:6060)")
+	flag.BoolVar(&cfg.health, "health", false, "run the numerical-health watchdog (NaN/Inf, stall, divergence detection; aborts the run on an unhealthy iteration)")
+	flag.IntVar(&cfg.multires, "multires", 1, "coarse-to-fine start factor (power of two): begin on a grid downsampled by this factor, halving each level; 1 = single resolution")
+	flag.StringVar(&cfg.precision, "precision", "float64", "forward-model precision: float64 (bit-exact reference) | float32 (fast path)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write a resumable checkpoint to this file when the run is cancelled (Ctrl-C)")
+	flag.StringVar(&cfg.resume, "resume", "", "resume a cancelled run from this checkpoint file (options must match the original run)")
+
+	flag.BoolVar(&cfg.tiled, "tiled", false, "full-chip tiled optimization: decompose the layout into overlapping tiles (the preset's grid is the tile window), optimize them concurrently and stitch the seams (level-set only)")
+	flag.IntVar(&cfg.halo, "halo", 0, "tile overlap halo in nm (0 = derive from the SOCS kernel energy support)")
+	flag.IntVar(&cfg.tileWorkers, "tile-workers", 0, "concurrent tile sessions (0 = one per engine worker)")
+	flag.IntVar(&cfg.stitchPasses, "stitch-passes", 0, "max halo-stitching consistency passes (0 = default 2, negative = none)")
+	flag.IntVar(&cfg.stitchIters, "stitch-iters", 0, "per-tile iteration budget inside a stitch pass (0 = max(4, iters/4))")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "lsopc:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // conventional SIGINT exit status
+		}
+		os.Exit(1)
+	}
+}
+
+// validateFlags rejects flag combinations before any resources are
+// built: negative counts, and -tiled paired with options the tiled
+// path ignores or cannot honour.
+func validateFlags(cfg cliConfig) error {
+	switch {
+	case cfg.iters < 0:
+		return fmt.Errorf("-iters must be ≥ 0, got %d", cfg.iters)
+	case cfg.halo < 0:
+		return fmt.Errorf("-halo must be ≥ 0 nm, got %d", cfg.halo)
+	case cfg.tileWorkers < 0:
+		return fmt.Errorf("-tile-workers must be ≥ 0, got %d", cfg.tileWorkers)
+	case cfg.stitchIters < 0:
+		return fmt.Errorf("-stitch-iters must be ≥ 0, got %d", cfg.stitchIters)
+	case cfg.multires < 0:
+		return fmt.Errorf("-multires must be ≥ 0, got %d", cfg.multires)
+	}
+	if cfg.tiled {
+		switch {
+		case cfg.method != "level-set":
+			return fmt.Errorf("-tiled supports only the level-set method (got %q)", cfg.method)
+		case cfg.ascii:
+			return fmt.Errorf("-tiled ignores -ascii: the preview renders one simulation window, not a chip")
+		case cfg.trace:
+			return fmt.Errorf("-tiled ignores -trace: per-tile histories are not printed (use -tracefile)")
+		case cfg.checkpoint != "" || cfg.resume != "":
+			return fmt.Errorf("-tiled does not support -checkpoint/-resume: tiles restart from the blended consensus, re-run the pass instead")
+		}
+	} else {
+		switch {
+		case cfg.halo != 0:
+			return fmt.Errorf("-halo requires -tiled")
+		case cfg.tileWorkers != 0:
+			return fmt.Errorf("-tile-workers requires -tiled")
+		case cfg.stitchPasses != 0:
+			return fmt.Errorf("-stitch-passes requires -tiled")
+		case cfg.stitchIters != 0:
+			return fmt.Errorf("-stitch-iters requires -tiled")
+		}
+	}
+	if cfg.checkpoint != "" && cfg.checkpoint == cfg.resume {
+		return fmt.Errorf("-checkpoint and -resume name the same file %q; pick a fresh checkpoint path", cfg.checkpoint)
+	}
+	return nil
+}
+
+func run(cfg cliConfig) error {
+	if err := validateFlags(cfg); err != nil {
+		return err
+	}
+	preset, err := lsopc.ParsePreset(cfg.preset)
 	if err != nil {
 		return err
 	}
-	prec, err := lsopc.ParsePrecision(precisionStr)
+	prec, err := lsopc.ParsePrecision(cfg.precision)
 	if err != nil {
 		return err
 	}
+	// SIGINT cancels the run at the next iteration boundary; a second
+	// SIGINT (after stop() restores default handling) kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	eng := lsopc.GPUEngine()
-	if serial {
+	if cfg.serial {
 		eng = lsopc.CPUEngine()
 	}
-	if metricsAddr != "" {
-		srv, addr, err := lsopc.ServeMetrics(metricsAddr)
+	if cfg.metricsAddr != "" {
+		srv, addr, err := lsopc.ServeMetrics(cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
@@ -86,15 +171,18 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 		fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
 	}
 	var popts []lsopc.PipelineOption
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
 		if err != nil {
 			return err
 		}
 		sink := lsopc.NewJSONLTraceSink(f)
 		// Install as the runtime sink before the pipeline is built so
 		// plan-cache and pool events from bank/session construction land
-		// in the same stream as the optimizer's iteration events.
+		// in the same stream as the optimizer's iteration events. The
+		// deferred flush runs on every exit path — a cancelled run's
+		// trace (including its cancelled/checkpoint events) still lands
+		// on disk.
 		lsopc.SetRuntimeTrace(sink)
 		popts = append(popts, lsopc.WithTraceSink(sink))
 		defer func() {
@@ -103,10 +191,10 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 				fmt.Fprintln(os.Stderr, "lsopc: trace flush:", err)
 			}
 			f.Close()
-			fmt.Fprintf(os.Stderr, "event trace written to %s\n", tracePath)
+			fmt.Fprintf(os.Stderr, "event trace written to %s\n", cfg.tracePath)
 		}()
 	}
-	if health {
+	if cfg.health {
 		popts = append(popts, lsopc.WithHealthPolicy(lsopc.DefaultHealthPolicy()))
 	}
 	if prec != lsopc.Float64 {
@@ -118,44 +206,60 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 	}
 	defer pipe.Release()
 
-	layout, err := loadLayout(caseID, glpPath)
+	layout, err := loadLayout(cfg.caseID, cfg.glpPath)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("layout %s: %d shapes, pattern area %d nm²\n", layout.Name, layout.ShapeCount(), layout.Area())
 	fmt.Printf("preset %s: %d px @ %g nm/px, engine %s\n", preset, pipe.GridSize(), pipe.PixelNM(), eng.Name())
 
-	if tc.enabled {
-		return runTiled(pipe, layout, method, iters, pvbWeight, multires, outPath, outGLP, tc)
+	if cfg.tiled {
+		return runTiled(ctx, pipe, layout, cfg)
 	}
 
 	var result *lsopc.RunResult
-	switch method {
+	switch cfg.method {
 	case "level-set":
 		opts := lsopc.DefaultLevelSetOptions()
-		if iters > 0 {
-			opts.MaxIter = iters
+		if cfg.iters > 0 {
+			opts.MaxIter = cfg.iters
 		}
-		if pvbWeight >= 0 {
-			opts.PVBWeight = pvbWeight
+		if cfg.pvbWeight >= 0 {
+			opts.PVBWeight = cfg.pvbWeight
 		}
-		opts.MultiResFactor = multires
-		result, err = pipe.OptimizeLevelSet(layout, opts)
+		opts.MultiResFactor = cfg.multires
+		if cfg.resume != "" {
+			var cp *lsopc.Checkpoint
+			if cp, err = loadCheckpoint(cfg.resume); err != nil {
+				return err
+			}
+			result, err = pipe.ResumeLevelSet(ctx, layout, opts, cp)
+		} else {
+			result, err = pipe.OptimizeLevelSetContext(ctx, layout, opts)
+		}
 	case "MOSAIC_fast", "MOSAIC_exact", "robust", "PVOPC":
-		opts := lsopc.DefaultBaselineOptions(parseVariant(method))
-		if iters > 0 {
-			opts.MaxIter = iters
+		opts := lsopc.DefaultBaselineOptions(parseVariant(cfg.method))
+		if cfg.iters > 0 {
+			opts.MaxIter = cfg.iters
 		}
-		if pvbWeight >= 0 {
-			opts.PVBWeight = pvbWeight
+		if cfg.pvbWeight >= 0 {
+			opts.PVBWeight = cfg.pvbWeight
 		}
-		opts.MultiResFactor = multires
-		result, err = pipe.OptimizeBaseline(layout, opts)
+		opts.MultiResFactor = cfg.multires
+		if cfg.resume != "" {
+			var cp *lsopc.Checkpoint
+			if cp, err = loadCheckpoint(cfg.resume); err != nil {
+				return err
+			}
+			result, err = pipe.ResumeBaseline(ctx, layout, opts, cp)
+		} else {
+			result, err = pipe.OptimizeBaselineContext(ctx, layout, opts)
+		}
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return fmt.Errorf("unknown method %q", cfg.method)
 	}
 	if err != nil {
-		return err
+		return handleCancelled(err, cfg.checkpoint)
 	}
 
 	fmt.Printf("method %s finished in %v\n", result.Method, result.Elapsed.Round(1e6))
@@ -169,14 +273,14 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 	}
 	fmt.Println(result.Report)
 
-	if trace && result.LevelSet != nil {
+	if cfg.trace && result.LevelSet != nil {
 		fmt.Println("iter  cost_total  cost_nominal  cost_pvb  max|v|  dt  lambda")
 		for _, h := range result.LevelSet.History {
 			fmt.Printf("%4d  %10.4f  %12.4f  %8.4f  %6.3g  %.3g  %.3f\n",
 				h.Iter, h.CostTotal, h.CostNominal, h.CostPVB, h.MaxVelocity, h.TimeStep, h.LambdaPRP)
 		}
 	}
-	if ascii {
+	if cfg.ascii {
 		printed, _, _ := pipe.PrintedImages(result.Mask)
 		target, err := pipe.Target(layout)
 		if err != nil {
@@ -185,45 +289,73 @@ func run(caseID, glpPath, presetStr, method string, iters int, pvbWeight float64
 		fmt.Println("printed image with target contour ('+': contour printed, 'x': contour missing, '#': printed):")
 		fmt.Print(render.ContourOverlayASCII(target, printed, 100))
 	}
-	if outPath != "" {
-		if err := render.SavePGM(outPath, result.Mask, 0, 1); err != nil {
+	if cfg.outPath != "" {
+		if err := render.SavePGM(cfg.outPath, result.Mask, 0, 1); err != nil {
 			return err
 		}
-		fmt.Printf("mask written to %s\n", outPath)
+		fmt.Printf("mask written to %s\n", cfg.outPath)
 	}
-	if outGLP != "" {
+	if cfg.outGLP != "" {
 		maskLayout := lsopc.MaskToLayout(layout.Name+"_mask", result.Mask, int(pipe.PixelNM()))
-		if err := lsopc.SaveGLP(outGLP, maskLayout); err != nil {
+		if err := lsopc.SaveGLP(cfg.outGLP, maskLayout); err != nil {
 			return err
 		}
-		fmt.Printf("mask geometry (%d rects) written to %s\n", len(maskLayout.Rects), outGLP)
+		fmt.Printf("mask geometry (%d rects) written to %s\n", len(maskLayout.Rects), cfg.outGLP)
 	}
 	return nil
+}
+
+// loadCheckpoint reads a -resume checkpoint file.
+func loadCheckpoint(path string) (*lsopc.Checkpoint, error) {
+	cp, err := lsopc.LoadCheckpoint(path)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	fmt.Printf("resuming %s from iteration %d (checkpoint %s)\n", cp.Method, cp.DoneIters+cp.Iter, path)
+	return cp, nil
+}
+
+// handleCancelled is the partial-result exit path: a cancelled run
+// reports where it stopped and, with -checkpoint, persists the
+// resumable state before the (non-nil) error propagates to main.
+func handleCancelled(err error, checkpointPath string) error {
+	var cerr *lsopc.CancelledError
+	if !errors.As(err, &cerr) {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lsopc: %v\n", cerr)
+	if checkpointPath != "" {
+		if werr := lsopc.SaveCheckpoint(checkpointPath, cerr.Checkpoint); werr != nil {
+			return fmt.Errorf("cancelled, and writing the checkpoint failed: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s — resume with -resume %s (same options)\n",
+			checkpointPath, checkpointPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "no -checkpoint path was given; the partial state is discarded")
+	}
+	return err
 }
 
 // runTiled is the -tiled mode: a full-chip tiled optimization whose
 // tile window is the pipeline's simulation grid. The contest report is
 // skipped — its checkers evaluate a single simulation window, not a
 // chip — in favour of the per-tile and seam-convergence summary.
-func runTiled(pipe *lsopc.Pipeline, layout *lsopc.Layout, method string, iters int, pvbWeight float64, multires int, outPath, outGLP string, tc tileConfig) error {
-	if method != "level-set" {
-		return fmt.Errorf("-tiled supports only the level-set method (got %q)", method)
-	}
+func runTiled(ctx context.Context, pipe *lsopc.Pipeline, layout *lsopc.Layout, cfg cliConfig) error {
 	opts := lsopc.DefaultLevelSetOptions()
-	if iters > 0 {
-		opts.MaxIter = iters
+	if cfg.iters > 0 {
+		opts.MaxIter = cfg.iters
 	}
-	if pvbWeight >= 0 {
-		opts.PVBWeight = pvbWeight
+	if cfg.pvbWeight >= 0 {
+		opts.PVBWeight = cfg.pvbWeight
 	}
-	opts.MultiResFactor = multires
+	opts.MultiResFactor = cfg.multires
 
-	result, err := pipe.OptimizeTiled(layout, lsopc.TileOptions{
-		HaloNM:       tc.halo,
-		Workers:      tc.workers,
+	result, err := pipe.OptimizeTiledContext(ctx, layout, lsopc.TileOptions{
+		HaloNM:       cfg.halo,
+		Workers:      cfg.tileWorkers,
 		Core:         opts,
-		StitchPasses: tc.stitchPasses,
-		StitchIters:  tc.stitchIters,
+		StitchPasses: cfg.stitchPasses,
+		StitchIters:  cfg.stitchIters,
 	})
 	if err != nil {
 		return err
@@ -253,18 +385,18 @@ func runTiled(pipe *lsopc.Pipeline, layout *lsopc.Layout, method string, iters i
 	fmt.Printf("tiled run finished in %v (chip mask %dx%d px)\n",
 		result.Elapsed.Round(1e6), result.Mask.W, result.Mask.H)
 
-	if outPath != "" {
-		if err := render.SavePGM(outPath, result.Mask, 0, 1); err != nil {
+	if cfg.outPath != "" {
+		if err := render.SavePGM(cfg.outPath, result.Mask, 0, 1); err != nil {
 			return err
 		}
-		fmt.Printf("mask written to %s\n", outPath)
+		fmt.Printf("mask written to %s\n", cfg.outPath)
 	}
-	if outGLP != "" {
+	if cfg.outGLP != "" {
 		maskLayout := lsopc.MaskToLayout(layout.Name+"_mask", result.Mask, int(pipe.PixelNM()))
-		if err := lsopc.SaveGLP(outGLP, maskLayout); err != nil {
+		if err := lsopc.SaveGLP(cfg.outGLP, maskLayout); err != nil {
 			return err
 		}
-		fmt.Printf("mask geometry (%d rects) written to %s\n", len(maskLayout.Rects), outGLP)
+		fmt.Printf("mask geometry (%d rects) written to %s\n", len(maskLayout.Rects), cfg.outGLP)
 	}
 	return nil
 }

@@ -2,10 +2,73 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"lsopc"
 )
+
+func TestValidateFlags(t *testing.T) {
+	base := cliConfig{method: "level-set"}
+	tiled := func(mut func(*cliConfig)) cliConfig {
+		c := base
+		c.tiled = true
+		if mut != nil {
+			mut(&c)
+		}
+		return c
+	}
+	cases := []struct {
+		name    string
+		cfg     cliConfig
+		wantErr string // substring; "" = valid
+	}{
+		{"defaults", base, ""},
+		{"negative iters", func() cliConfig { c := base; c.iters = -1; return c }(), "-iters"},
+		{"negative halo", func() cliConfig { c := base; c.halo = -10; return c }(), "-halo"},
+		{"negative workers", func() cliConfig { c := base; c.tileWorkers = -2; return c }(), "-tile-workers"},
+		{"negative stitch iters", func() cliConfig { c := base; c.stitchIters = -1; return c }(), "-stitch-iters"},
+		{"negative multires", func() cliConfig { c := base; c.multires = -4; return c }(), "-multires"},
+		{"tiled level-set", tiled(nil), ""},
+		{"tiled with tile knobs", tiled(func(c *cliConfig) { c.halo = 300; c.tileWorkers = 4; c.stitchPasses = -1; c.stitchIters = 8 }), ""},
+		{"tiled baseline", tiled(func(c *cliConfig) { c.method = "PVOPC" }), "level-set"},
+		{"tiled ascii", tiled(func(c *cliConfig) { c.ascii = true }), "-ascii"},
+		{"tiled trace", tiled(func(c *cliConfig) { c.trace = true }), "-trace"},
+		{"tiled checkpoint", tiled(func(c *cliConfig) { c.checkpoint = "x.ckpt" }), "-checkpoint"},
+		{"tiled resume", tiled(func(c *cliConfig) { c.resume = "x.ckpt" }), "-checkpoint"},
+		{"halo without tiled", func() cliConfig { c := base; c.halo = 300; return c }(), "requires -tiled"},
+		{"workers without tiled", func() cliConfig { c := base; c.tileWorkers = 4; return c }(), "requires -tiled"},
+		{"stitch passes without tiled", func() cliConfig { c := base; c.stitchPasses = 3; return c }(), "requires -tiled"},
+		{"stitch iters without tiled", func() cliConfig { c := base; c.stitchIters = 8; return c }(), "requires -tiled"},
+		{"checkpoint equals resume", func() cliConfig {
+			c := base
+			c.checkpoint, c.resume = "run.ckpt", "run.ckpt"
+			return c
+		}(), "same file"},
+		{"checkpoint and distinct resume", func() cliConfig {
+			c := base
+			c.checkpoint, c.resume = "next.ckpt", "prev.ckpt"
+			return c
+		}(), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want nil", tc.cfg, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%+v) accepted, want error mentioning %q", tc.cfg, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
 
 func TestParseVariant(t *testing.T) {
 	cases := map[string]lsopc.BaselineVariant{

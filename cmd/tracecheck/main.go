@@ -5,7 +5,9 @@
 // not strictly increasing — the integrity invariants concurrent
 // sessions rely on. Tiled-run events carry structural invariants of
 // their own: tile_start/tile_done must name a tile ordinal ≥ 1, and
-// stitch_pass must name a pass ≥ 1 over ≥ 1 re-optimized tiles. With
+// stitch_pass must name a pass ≥ 1 over ≥ 1 re-optimized tiles.
+// Cancellation events must carry their cause message, and checkpoint
+// events must report ≥ 1 captured state fields. With
 // -require it additionally asserts that given event types are present,
 // so CI can prove a run actually exercised the instrumented layers.
 //
@@ -120,6 +122,14 @@ func check(in io.Reader) (map[string]int, error) {
 			}
 			if e.N < 1 {
 				return nil, fmt.Errorf("line %d: stitch_pass re-optimizing %d tiles, want ≥ 1", line, e.N)
+			}
+		case obs.EventCancelled:
+			if e.Msg == "" {
+				return nil, fmt.Errorf("line %d: cancelled event without a cause message", line)
+			}
+		case obs.EventCheckpoint:
+			if e.N < 1 {
+				return nil, fmt.Errorf("line %d: checkpoint event capturing %d state fields, want ≥ 1", line, e.N)
 			}
 		}
 		counts[e.Type]++

@@ -166,7 +166,7 @@ func printRun(r *analyze.Run, topN int) {
 
 	for _, id := range r.SessionIDs() {
 		s := r.Sessions[id]
-		if len(s.Iterations) == 0 && len(s.Health) == 0 {
+		if len(s.Iterations) == 0 && len(s.Health) == 0 && !s.Cancelled {
 			continue
 		}
 		name := s.ID
@@ -216,6 +216,10 @@ func printRun(r *analyze.Run, topN int) {
 		}
 		for _, h := range s.Health {
 			fmt.Printf("  health: iter %d %s (cost %g)\n", h.Iter, h.Reason, h.Cost)
+		}
+		if s.Cancelled {
+			fmt.Printf("  CANCELLED at iteration %d (%d checkpoint(s) captured)\n",
+				s.CancelledIter, s.Checkpoints)
 		}
 	}
 }

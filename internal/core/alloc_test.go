@@ -5,6 +5,7 @@ import (
 
 	"lsopc/internal/grid"
 	"lsopc/internal/litho"
+	"lsopc/internal/solve"
 )
 
 // allocOpts returns an option set whose steady-state iteration touches
@@ -20,28 +21,27 @@ func allocOpts(budget int) Options {
 	return opts
 }
 
-// warmOptimizer builds an optimizer mid-run: start() done and one step
-// taken, so every lazily-reached path is already warm.
-func warmOptimizer(t testing.TB, sim *litho.Simulator, target *grid.Field, budget int) *Optimizer {
+// warmDriver builds an optimizer mid-run: the solve driver constructed
+// and one step taken, so every lazily-reached path is already warm.
+func warmDriver(t testing.TB, sim *litho.Simulator, target *grid.Field, budget int) (*Optimizer, *solve.Driver) {
 	o, err := New(sim, target, allocOpts(budget))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := o.start(); err != nil {
+	drv, err := o.driver()
+	if err != nil {
 		t.Fatal(err)
 	}
-	o.step(0)
-	return o
+	drv.Step()
+	return o, drv
 }
 
 func TestIterationZeroAllocWarm(t *testing.T) {
 	sim := newTestSim(t, 4)
-	o := warmOptimizer(t, sim, crossTarget(64), 1000)
+	o, drv := warmDriver(t, sim, crossTarget(64), 1000)
 	defer o.Release()
-	iter := 1
 	if avg := testing.AllocsPerRun(20, func() {
-		o.step(iter)
-		iter++
+		drv.Step()
 	}); avg != 0 {
 		t.Fatalf("warm level-set iteration allocates %.1f objects/op, want 0", avg)
 	}
@@ -49,12 +49,12 @@ func TestIterationZeroAllocWarm(t *testing.T) {
 
 func BenchmarkLevelSetIteration(b *testing.B) {
 	sim := newTestSimB(b, 8)
-	o := warmOptimizer(b, sim, crossTarget(64), b.N+2)
+	o, drv := warmDriver(b, sim, crossTarget(64), b.N+2)
 	defer o.Release()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o.step(i + 1)
+		drv.Step()
 	}
 }
 

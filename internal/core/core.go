@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -28,7 +29,11 @@ import (
 	"lsopc/internal/metrics"
 	"lsopc/internal/obs"
 	"lsopc/internal/rt"
+	"lsopc/internal/solve"
 )
+
+// methodName tags this optimizer's checkpoints and cancellation events.
+const methodName = "level-set"
 
 // Optimizer-loop metrics in the default registry.
 var (
@@ -270,12 +275,10 @@ type Optimizer struct {
 	bestMask *grid.Field // nil unless KeepBest
 	bestPsi  *grid.Field // nil unless KeepBest
 
-	// Per-run state reset by start.
-	psi      *grid.Field // level-set function (reallocated by reinit)
-	res      *Result
-	lambdaT  float64
-	bestCost float64
-	watchdog *obs.Watchdog // nil unless Options.Health is set
+	// Per-run state reset by start; the iteration-loop bookkeeping
+	// (step scale, best cost, history, watchdog) lives in the
+	// solve.Driver built per run.
+	psi *grid.Field // level-set function (reallocated by reinit)
 
 	released bool
 }
@@ -420,15 +423,53 @@ func (o *Optimizer) simulateCorners() {
 // Run executes Algorithm 1 and returns the optimized mask. The result
 // owns its fields, so it stays valid after Release.
 func (o *Optimizer) Run() (*Result, error) {
+	return o.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the loop yields at
+// every iteration boundary, and a cancelled context surfaces as a
+// *solve.Cancelled error (unwrapping to the context's error) carrying a
+// checkpoint the run can resume from bit-identically.
+func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
+	drv, err := o.driver()
+	if err != nil {
+		return nil, err
+	}
+	out, err := drv.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return o.finish(out), nil
+}
+
+// driver starts a fresh run (ψ initialisation) and wraps the optimizer
+// in the shared solve runtime that owns the iteration bookkeeping.
+func (o *Optimizer) driver() (*solve.Driver, error) {
 	if err := o.start(); err != nil {
 		return nil, err
 	}
-	for i := 0; i < o.opts.MaxIter; i++ {
-		if o.step(i) {
-			break
-		}
-	}
-	return o.finish(), nil
+	return solve.NewDriver((*levelStepper)(o), solve.Config{
+		Method:        methodName,
+		MaxIter:       o.opts.MaxIter,
+		Offset:        o.opts.IterOffset,
+		Tolerance:     o.opts.Tolerance,
+		AdaptiveStep:  o.opts.AdaptiveStep,
+		BaseScale:     o.opts.LambdaT,
+		KeepBest:      o.opts.KeepBest,
+		SnapshotEvery: o.opts.SnapshotEvery,
+		Sink:          o.opts.Sink,
+		Trace:         o.opts.TraceID,
+		Engine:        o.sim.Engine().Name(),
+		Health:        o.opts.Health,
+		Observe:       observeStep,
+	}), nil
+}
+
+// observeStep feeds the per-iteration metrics at the same measurement
+// point the pre-driver loop used.
+func observeStep(d time.Duration) {
+	mIterations.Inc()
+	mStepNS.Observe(float64(d))
 }
 
 // start initialises the run state (Algorithm 1, line 1): M₀ = R* (or
@@ -451,27 +492,26 @@ func (o *Optimizer) start() error {
 	default:
 		o.psi = levelset.SignedDistance(o.target)
 	}
-	o.res = &Result{History: make([]IterStats, 0, o.opts.MaxIter)}
-	o.lambdaT = o.opts.LambdaT
-	o.bestCost = math.Inf(1)
-	o.watchdog = nil
-	if o.opts.Health != nil {
-		o.watchdog = obs.NewWatchdog(*o.opts.Health, o.opts.Sink, o.opts.TraceID)
-	}
 	return nil
 }
 
 // lineSearchFactors are the step multiples probed by Options.LineSearch.
 var lineSearchFactors = [3]float64{0.5, 1, 2}
 
-// step runs one iteration of Algorithm 1 and reports whether the loop
-// should stop. All scratch lives on the optimizer and every engine task
-// is pre-bound, so a steady-state step performs no allocations.
-func (o *Optimizer) step(i int) (stop bool) {
-	stepStart := time.Now()
-	res := o.res
-	gi := i + o.opts.IterOffset // globally reported iteration number
-	// Lines 7–8: extract mask, simulate, accumulate gradient.
+// levelStepper is the Optimizer viewed through the solve.Stepper
+// contract: Eval computes the PRP velocity from a fresh simulation,
+// Advance applies the CFL step (with optional line search and periodic
+// reinitialisation), and SaveState/RestoreState serialize the level-set
+// state for checkpoints. Defined as a type conversion of Optimizer so
+// the methods stay allocation-free.
+type levelStepper Optimizer
+
+// Eval runs lines 7–8 of Algorithm 1 for local iteration i: extract
+// mask, simulate the corners, accumulate the gradient, and form the
+// evolution velocity. All scratch lives on the optimizer and every
+// engine task is pre-bound, so a steady-state call allocates nothing.
+func (s *levelStepper) Eval(i int) solve.Stats {
+	o := (*Optimizer)(s)
 	levelset.MaskFromPsi(o.mask, o.psi)
 	o.sim.MaskSpectrumInto(o.maskSpec, o.mask)
 
@@ -543,78 +583,41 @@ func (o *Optimizer) step(i int) (stop bool) {
 		}
 	}
 
-	costTotal := costNom + o.opts.PVBWeight*costPVB
-	// Feedback time-step control (line 5's "choose a proper time
-	// step"): shrink λ_t after an overshoot, recover slowly.
-	if o.opts.AdaptiveStep && i > 0 {
-		if costTotal > res.History[i-1].CostTotal {
-			o.lambdaT = math.Max(o.lambdaT*0.5, o.opts.LambdaT/16)
-		} else {
-			o.lambdaT = math.Min(o.lambdaT*1.1, o.opts.LambdaT)
-		}
-	}
-	if o.opts.KeepBest && costTotal < o.bestCost {
-		o.bestCost = costTotal
-		o.bestMask.CopyFrom(o.mask)
-		o.bestPsi.CopyFrom(o.psi)
-	}
-
-	// Record stats before the update so the trace reflects the
-	// state the velocity was computed from.
-	maxV := o.velocity.MaxAbs()
-	dt := levelset.TimeStep(o.lambdaT, o.velocity)
-	res.History = append(res.History, IterStats{
-		Iter:        gi,
+	return solve.Stats{
+		Cost:        costNom + o.opts.PVBWeight*costPVB,
 		CostNominal: costNom,
 		CostPVB:     costPVB,
-		CostTotal:   costTotal,
-		MaxVelocity: maxV,
-		TimeStep:    dt,
 		LambdaPRP:   lambda,
-	})
-	mIterations.Inc()
-	mStepNS.Observe(float64(time.Since(stepStart)))
-	gradNorm := 0.0
-	if o.opts.Sink != nil || o.watchdog != nil {
-		gradNorm = o.gTerm.Norm()
+		Detailed:    true,
 	}
-	if o.opts.Sink != nil {
-		o.opts.Sink.Emit(obs.Event{
-			Type:        obs.EventIteration,
-			Trace:       o.opts.TraceID,
-			Engine:      o.sim.Engine().Name(),
-			Iter:        gi,
-			Cost:        costTotal,
-			CostNominal: costNom,
-			CostPVB:     costPVB,
-			GradNorm:    gradNorm,
-			MaxVelocity: maxV,
-			TimeStep:    dt,
-			LambdaPRP:   lambda,
-			DurNS:       time.Since(stepStart).Nanoseconds(),
-		})
-	}
-	if o.opts.SnapshotEvery > 0 && i%o.opts.SnapshotEvery == 0 {
-		res.Snapshots = append(res.Snapshots, Snapshot{Iter: gi, Mask: o.mask.Clone()})
-	}
+}
 
-	res.Iterations = i + 1
-	// Health watchdog: judge this iteration's statistics and stop the
-	// run in the same iteration when the policy demands an abort, so a
-	// NaN-poisoned or diverging run cannot burn its remaining budget.
-	if o.watchdog != nil {
-		if v := o.watchdog.Observe(gi, costTotal, gradNorm, dt); v.Abort {
-			res.Aborted = true
-			res.AbortReason = v.Reason
-			return true
-		}
-	}
-	// Line 12: stop when the front has stalled.
-	if maxV <= o.opts.Tolerance {
-		res.Converged = true
-		return true
-	}
+// SaveBest copies the current iterate into the keep-best store.
+func (s *levelStepper) SaveBest() {
+	o := (*Optimizer)(s)
+	o.bestMask.CopyFrom(o.mask)
+	o.bestPsi.CopyFrom(o.psi)
+}
 
+// StepSize returns the CFL time step under the driver's λ_t scale and
+// the velocity's max abs entry (the convergence statistic, line 12).
+func (s *levelStepper) StepSize(scale float64) (dt, maxV float64) {
+	o := (*Optimizer)(s)
+	maxV = o.velocity.MaxAbs()
+	dt = levelset.TimeStep(scale, o.velocity)
+	return dt, maxV
+}
+
+// GradNorm returns ‖g‖ for tracing and health verdicts.
+func (s *levelStepper) GradNorm() float64 {
+	return (*Optimizer)(s).gTerm.Norm()
+}
+
+// Advance applies lines 5–6 of Algorithm 1: optional exact line search
+// over the step size, the level-set update, and the periodic
+// reinitialisation that keeps ψ a signed distance function.
+func (s *levelStepper) Advance(i int, dt float64) float64 {
+	o := (*Optimizer)(s)
 	// Optional exact line search over the step size (reference [9]'s
 	// optimal time step): probe {½, 1, 2}× the CFL step.
 	if o.opts.LineSearch && dt > 0 {
@@ -628,13 +631,10 @@ func (o *Optimizer) step(i int) (stop bool) {
 			}
 		}
 		dt = bestDt
-		res.History[len(res.History)-1].TimeStep = dt
 	}
 
-	// Lines 5–6: CFL step and level-set update.
 	levelset.Evolve(o.psi, o.velocity, dt)
 
-	// Periodic reinitialisation keeps ψ a signed distance function.
 	if o.opts.ReinitEvery > 0 && (i+1)%o.opts.ReinitEvery == 0 {
 		if o.opts.SubpixelReinit {
 			o.psi = levelset.ReinitializeFMM(o.psi)
@@ -642,15 +642,78 @@ func (o *Optimizer) step(i int) (stop bool) {
 			o.psi = levelset.Reinitialize(o.psi)
 		}
 	}
-	return false
+	return dt
 }
 
-// finish assembles the result. Mask and ψ are cloned out of the leased
-// scratch so the result survives Release.
-func (o *Optimizer) finish() *Result {
-	res := o.res
+// Snapshot clones the current mask for the snapshot series.
+func (s *levelStepper) Snapshot() *grid.Field {
+	return (*Optimizer)(s).mask.Clone()
+}
+
+// State clones ψ — the multi-resolution hand-off and Outcome.State.
+func (s *levelStepper) State() *grid.Field {
+	return (*Optimizer)(s).psi.Clone()
+}
+
+// SaveState clones the fields a bit-exact resume needs: ψ, the CG
+// memory (previous gradient term and velocity), and the keep-best
+// iterate when tracked.
+func (s *levelStepper) SaveState() map[string]*grid.Field {
+	o := (*Optimizer)(s)
+	st := map[string]*grid.Field{
+		"psi":      o.psi.Clone(),
+		"gprev":    o.gPrev.Clone(),
+		"velocity": o.velocity.Clone(),
+	}
+	if o.opts.KeepBest {
+		st["bestmask"] = o.bestMask.Clone()
+		st["bestpsi"] = o.bestPsi.Clone()
+	}
+	return st
+}
+
+// RestoreState loads a SaveState map back into the optimizer's scratch.
+func (s *levelStepper) RestoreState(st map[string]*grid.Field) error {
+	o := (*Optimizer)(s)
+	psi := st["psi"]
+	if psi == nil {
+		return fmt.Errorf("core: checkpoint state carries no psi field")
+	}
+	if psi.W != o.psi.W || psi.H != o.psi.H {
+		return fmt.Errorf("%w: checkpoint psi %dx%d, grid %d", ErrShapeMismatch, psi.W, psi.H, o.psi.W)
+	}
+	o.psi.CopyFrom(psi)
+	for key, dst := range map[string]*grid.Field{
+		"gprev":    o.gPrev,
+		"velocity": o.velocity,
+		"bestmask": o.bestMask,
+		"bestpsi":  o.bestPsi,
+	} {
+		f := st[key]
+		if f == nil || dst == nil {
+			continue
+		}
+		if f.W != dst.W || f.H != dst.H {
+			return fmt.Errorf("%w: checkpoint %s %dx%d, grid %d", ErrShapeMismatch, key, f.W, f.H, dst.W)
+		}
+		dst.CopyFrom(f)
+	}
+	return nil
+}
+
+// finish assembles the result from the driver's outcome. Mask and ψ are
+// cloned out of the leased scratch so the result survives Release.
+func (o *Optimizer) finish(out *solve.Outcome) *Result {
+	res := &Result{
+		Iterations:  out.Iterations,
+		Converged:   out.Converged,
+		Aborted:     out.Aborted,
+		AbortReason: out.AbortReason,
+		History:     historyFromSolve(out.History),
+		Snapshots:   snapshotsFromSolve(out.Snapshots),
+	}
 	levelset.MaskFromPsi(o.mask, o.psi)
-	if o.opts.KeepBest && !math.IsInf(o.bestCost, 1) {
+	if o.opts.KeepBest && !math.IsInf(out.BestCost, 1) {
 		res.Mask = o.bestMask.Clone()
 		res.Psi = o.bestPsi.Clone()
 	} else {
@@ -660,8 +723,38 @@ func (o *Optimizer) finish() *Result {
 	if o.opts.CleanupTinyPx > 0 {
 		metrics.RemoveTinyFeatures(res.Mask, o.opts.CleanupTinyPx, o.opts.CleanupTinyPx)
 	}
-	o.res = nil
 	return res
+}
+
+// historyFromSolve converts the driver's history records to this
+// package's schema (CostTotal carries the driver's Cost).
+func historyFromSolve(hs []solve.IterStats) []IterStats {
+	out := make([]IterStats, len(hs))
+	for i, h := range hs {
+		out[i] = IterStats{
+			Iter:        h.Iter,
+			CostNominal: h.CostNominal,
+			CostPVB:     h.CostPVB,
+			CostTotal:   h.Cost,
+			MaxVelocity: h.MaxVelocity,
+			TimeStep:    h.TimeStep,
+			LambdaPRP:   h.LambdaPRP,
+		}
+	}
+	return out
+}
+
+// snapshotsFromSolve converts the driver's snapshot series (identical
+// field layout; nil stays nil).
+func snapshotsFromSolve(ss []solve.Snapshot) []Snapshot {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]Snapshot, len(ss))
+	for i, s := range ss {
+		out[i] = Snapshot(s)
+	}
+	return out
 }
 
 // costAtPsi evaluates the total cost (Eq. 13) of the mask induced by the

@@ -13,176 +13,183 @@
 // with the fast-marching method, so the contour arrives at the next
 // level with its sub-pixel position intact and a clean signed-distance
 // profile around it.
+//
+// The schedule itself — budget split, coarse sessions, hand-offs,
+// level_switch events, checkpoint/resume — is solve.RunLevels; this
+// file only adapts the level-set method to its Program contract.
 package core
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"lsopc/internal/grid"
 	"lsopc/internal/levelset"
 	"lsopc/internal/litho"
-	"lsopc/internal/obs"
+	"lsopc/internal/solve"
 )
 
 // RunMultiResolution executes the coarse-to-fine schedule: Algorithm 1
 // on a MultiResFactor-downsampled grid first, halving the factor each
 // level, finishing at full resolution on sim itself. With
-// MultiResFactor ≤ 1 it is exactly New + Run (single resolution).
+// MultiResFactor ≤ 1 it is exactly New + RunContext (single
+// resolution).
 //
 // Budget: each coarse level runs MultiResIters iterations (default
 // MaxIter/2 split evenly across the coarse levels); full resolution
-// gets the remainder of MaxIter. Histories are concatenated with
-// globally renumbered iterations, and each resolution hand-off emits a
-// typed level_switch trace event carrying the grid transition and the
-// interpolation + redistancing time.
+// gets the remainder of MaxIter (see solve.Plan). Histories are
+// concatenated with globally renumbered iterations, and each resolution
+// hand-off emits a typed level_switch trace event carrying the grid
+// transition and the interpolation + redistancing time.
 //
 // The simulator passed in stays caller-owned; coarse sessions are
 // created on truncated kernel banks (sharing sim's resource pool) and
-// released before the function returns.
-func RunMultiResolution(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
+// released before the function returns. Cancellation yields a
+// *solve.Cancelled error whose checkpoint Resume continues from.
+func RunMultiResolution(ctx context.Context, sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.MultiResFactor <= 1 {
-		return runLevel(sim, target, opts)
-	}
-	n := sim.GridSize()
-	if target.W != n || target.H != n {
-		return nil, fmt.Errorf("%w: target %dx%d, grid %d", ErrShapeMismatch, target.W, target.H, n)
-	}
-
-	// Iteration budget across the schedule.
-	numCoarse := 0
-	for f := opts.MultiResFactor; f > 1; f /= 2 {
-		numCoarse++
-	}
-	perCoarse := opts.MultiResIters
-	if perCoarse == 0 {
-		perCoarse = opts.MaxIter / (2 * numCoarse)
-	}
-	if perCoarse < 1 {
-		perCoarse = 1
-	}
-	fineIters := opts.MaxIter - numCoarse*perCoarse
-	if fineIters < 1 {
-		fineIters = 1
-	}
-
-	total := &Result{}
-	var psi *grid.Field // hand-off ψ, already at the next level's resolution
-	globalIter := 0
-
-	for f := opts.MultiResFactor; f > 1; f /= 2 {
-		cres, err := sim.Resources().Coarse(f)
+		o, err := New(sim, target, opts)
 		if err != nil {
 			return nil, err
 		}
-		ccfg := sim.Config()
-		ccfg.Optics = cres.Optics()
-		csim, err := litho.NewSession(cres, ccfg, sim.Engine())
+		defer o.Release()
+		return o.RunContext(ctx)
+	}
+	if err := checkShape(sim, target); err != nil {
+		return nil, err
+	}
+	return runSchedule(ctx, sim, target, opts, nil)
+}
+
+// Resume continues a run from a checkpoint captured at cancellation.
+// opts must be the options of the original run; the result then matches
+// the uninterrupted run bit-for-bit (snapshots excepted — they restart
+// at the resume point).
+func Resume(ctx context.Context, sim *litho.Simulator, target *grid.Field, opts Options, cp *solve.Checkpoint) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("core: nil checkpoint")
+	}
+	if opts.MultiResFactor <= 1 {
+		if cp.Factor != 1 {
+			return nil, fmt.Errorf("core: checkpoint at resolution factor %d, but the run is single-resolution", cp.Factor)
+		}
+		o, err := New(sim, target, opts)
 		if err != nil {
 			return nil, err
 		}
+		defer o.Release()
+		drv, err := o.driver()
+		if err != nil {
+			return nil, err
+		}
+		if err := drv.Restore(cp); err != nil {
+			return nil, err
+		}
+		out, err := drv.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return o.finish(out), nil
+	}
+	if err := checkShape(sim, target); err != nil {
+		return nil, err
+	}
+	return runSchedule(ctx, sim, target, opts, cp)
+}
 
-		// The coarse target is the box-averaged design re-binarised at
-		// half coverage — the same pattern at the coarse pitch.
-		ctarget := target.Downsample(f)
-		ctarget.Binarize(ctarget)
+// checkShape validates the target against the simulator grid.
+func checkShape(sim *litho.Simulator, target *grid.Field) error {
+	if n := sim.GridSize(); target.W != n || target.H != n {
+		return fmt.Errorf("%w: target %dx%d, grid %d", ErrShapeMismatch, target.W, target.H, n)
+	}
+	return nil
+}
 
-		lopts := opts
-		lopts.MaxIter = perCoarse
-		lopts.IterOffset = globalIter
-		lopts.InitialPsi = psi
+// runSchedule drives solve.RunLevels over the level-set program and
+// assembles this package's Result from the merged outcome.
+func runSchedule(ctx context.Context, sim *litho.Simulator, target *grid.Field, opts Options, resume *solve.Checkpoint) (*Result, error) {
+	prog := &levelProgram{opts: opts}
+	sched := solve.Plan(opts.MaxIter, opts.MultiResFactor, opts.MultiResIters)
+	out, err := solve.RunLevels(ctx, sim, target, sched, prog, opts.Sink, opts.TraceID, opts.IterOffset, resume)
+	if err != nil {
+		return nil, err
+	}
+	total := &Result{
+		Iterations:  out.Iterations,
+		Converged:   out.Converged,
+		Aborted:     out.Aborted,
+		AbortReason: out.AbortReason,
+		History:     historyFromSolve(out.History),
+		Snapshots:   snapshotsFromSolve(out.Snapshots),
+	}
+	if prog.res != nil {
+		// The full-resolution level ran: its assembly (keep-best
+		// selection, manufacturability cleanup) is the run's mask.
+		total.Mask = prog.res.Mask
+		total.Psi = prog.res.Psi
+	} else {
+		// A poisoned coarse run aborted the schedule: the state arrives
+		// lifted to full resolution so the result shape matches the
+		// caller's grid.
+		total.Psi = out.State
+		total.Mask = grid.NewField(total.Psi.W, total.Psi.H)
+		levelset.MaskFromPsi(total.Mask, total.Psi)
+	}
+	return total, nil
+}
+
+// levelProgram adapts the level-set optimizer to solve.RunLevels.
+type levelProgram struct {
+	opts Options
+	res  *Result // full-resolution level's assembled result
+}
+
+// Level builds the optimizer and driver for one resolution level.
+func (p *levelProgram) Level(sim *litho.Simulator, target *grid.Field, cfg solve.LevelConfig) (*solve.Driver, func(*solve.Outcome), func(), error) {
+	lopts := p.opts
+	lopts.MaxIter = cfg.MaxIter
+	lopts.IterOffset = cfg.Offset
+	if cfg.Coarse || cfg.State != nil {
+		lopts.InitialPsi = cfg.State
 		lopts.InitialMask = nil
+	}
+	if cfg.Coarse {
 		// Hand the *last* ψ to the next level, not the best iterate:
 		// the schedule wants continuity of the evolving contour, and the
 		// best-so-far bookkeeping restarts at full resolution anyway.
 		lopts.KeepBest = false
 		lopts.SnapshotEvery = 0 // snapshots mix grid sizes; full-res only
 		lopts.CleanupTinyPx = 0 // manufacturability cleanup is final-mask-only
-
-		lres, err := runLevel(csim, ctarget, lopts)
-		csim.Release()
-		if err != nil {
-			return nil, err
-		}
-		appendHistory(total, lres, &globalIter)
-
-		if lres.Aborted {
-			// A poisoned coarse run must not feed the next level. Surface
-			// the abort with the state lifted to full resolution so the
-			// result shape matches the caller's grid.
-			total.Aborted = true
-			total.AbortReason = lres.AbortReason
-			total.Psi = upsampleTo(lres.Psi, f)
-			total.Mask = grid.NewField(n, n)
-			levelset.MaskFromPsi(total.Mask, total.Psi)
-			return total, nil
-		}
-
-		// Hand-off: spectral upsample to the next level's grid, then
-		// redistance so the new level starts from a signed distance
-		// function at its own pixel pitch.
-		interpStart := time.Now()
-		psi = levelset.ReinitializeFMM(levelset.UpsampleSpectral(lres.Psi, 2))
-		if opts.Sink != nil {
-			opts.Sink.Emit(obs.Event{
-				Type:   obs.EventLevelSwitch,
-				Trace:  opts.TraceID,
-				Engine: sim.Engine().Name(),
-				Iter:   globalIter,
-				OldN:   lres.Psi.W,
-				N:      psi.W,
-				DurNS:  time.Since(interpStart).Nanoseconds(),
-			})
-		}
 	}
-
-	// Full-resolution refinement on the caller's simulator.
-	fopts := opts
-	fopts.MaxIter = fineIters
-	fopts.IterOffset = globalIter
-	fopts.InitialPsi = psi
-	fopts.InitialMask = nil
-	fres, err := runLevel(sim, target, fopts)
+	o, err := New(sim, target, lopts)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	appendHistory(total, fres, &globalIter)
-	total.Mask = fres.Mask
-	total.Psi = fres.Psi
-	total.Converged = fres.Converged
-	total.Aborted = fres.Aborted
-	total.AbortReason = fres.AbortReason
-	total.Snapshots = fres.Snapshots
-	return total, nil
-}
-
-// runLevel runs one single-resolution optimization (New + Run + Release).
-func runLevel(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
-	o, err := New(sim, target, opts)
+	drv, err := o.driver()
 	if err != nil {
-		return nil, err
+		o.Release()
+		return nil, nil, nil, err
 	}
-	defer o.Release()
-	return o.Run()
+	finish := func(out *solve.Outcome) {
+		if !cfg.Coarse {
+			p.res = o.finish(out)
+		}
+	}
+	return drv, finish, o.Release, nil
 }
 
-// appendHistory merges one level's history into the schedule-wide
-// result (the level already reported global iteration numbers via
-// Options.IterOffset) and advances the global iteration counter.
-func appendHistory(total *Result, level *Result, globalIter *int) {
-	total.History = append(total.History, level.History...)
-	*globalIter += level.Iterations
-	total.Iterations = *globalIter
+// Upsample is the hand-off: spectral interpolation onto the 2× finer
+// grid, then FMM redistancing so the next level starts from a signed
+// distance function at its own pixel pitch.
+func (p *levelProgram) Upsample(psi *grid.Field) *grid.Field {
+	return levelset.ReinitializeFMM(levelset.UpsampleSpectral(psi, 2))
 }
 
-// upsampleTo lifts ψ by the given total factor (repeated 2× spectral
-// interpolation + redistancing).
-func upsampleTo(psi *grid.Field, factor int) *grid.Field {
-	for ; factor > 1; factor /= 2 {
-		psi = levelset.ReinitializeFMM(levelset.UpsampleSpectral(psi, 2))
-	}
-	return psi
-}
+// TraceName is empty: level-set level_switch events carry no name.
+func (p *levelProgram) TraceName() string { return "" }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -18,7 +20,7 @@ func TestMultiResFactor1MatchesRun(t *testing.T) {
 
 	for _, factor := range []int{0, 1} {
 		opts.MultiResFactor = factor
-		sched, err := RunMultiResolution(newTestSim(t, 3), target, opts)
+		sched, err := RunMultiResolution(context.Background(), newTestSim(t, 3), target, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +56,7 @@ func TestMultiResSchedule(t *testing.T) {
 	opts.Sink = sink
 	opts.TraceID = "sched"
 
-	res, err := RunMultiResolution(sim, target, opts)
+	res, err := RunMultiResolution(context.Background(), sim, target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestMultiResConvergesNearBaseline(t *testing.T) {
 	base := runOpts(t, newTestSim(t, 4), target, opts)
 
 	opts.MultiResFactor = 2
-	sched, err := RunMultiResolution(newTestSim(t, 4), target, opts)
+	sched, err := RunMultiResolution(context.Background(), newTestSim(t, 4), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestMultiResWatchdogAbortsPoisonedCoarse(t *testing.T) {
 	opts.Sink = sink
 	opts.TraceID = "nan-coarse"
 
-	res, err := RunMultiResolution(sim, crossTarget(64), opts)
+	res, err := RunMultiResolution(context.Background(), sim, crossTarget(64), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +187,7 @@ func TestMultiResWatchdogAbortsPoisonedFineLevel(t *testing.T) {
 	hp := obs.DefaultHealthPolicy()
 	opts.Health = &hp
 
-	res, err := RunMultiResolution(sim, nanTarget(64), opts)
+	res, err := RunMultiResolution(context.Background(), sim, nanTarget(64), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,7 @@ type eqRand uint64
 
 func (r *eqRand) next() float64 {
 	*r = *r*6364136223846793005 + 1442695040888963407
-	return float64(*r>>11) / float64(1 << 53)
+	return float64(*r>>11) / float64(1<<53)
 }
 
 // randomMask returns a smooth pseudo-random mask in [0,1]: random pixels

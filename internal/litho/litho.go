@@ -133,10 +133,10 @@ type Simulator struct {
 	defocusBank *optics.Bank // focus = DefocusNM (aliases res.Defocus())
 
 	// Leased scratch, reused across calls and returned by Release.
-	field   *grid.CField   // per-kernel coherent field E_k (non-batched fallback)
-	accum   *grid.CField   // frequency-domain gradient accumulator
-	ampSpec *grid.CField   // spectrum of W ⊙ conj(E_k) (non-batched fallback)
-	fields  []*grid.CField // batched per-kernel fields (see fused.go)
+	field   *grid.CField    // per-kernel coherent field E_k (non-batched fallback)
+	accum   *grid.CField    // frequency-domain gradient accumulator
+	ampSpec *grid.CField    // spectrum of W ⊙ conj(E_k) (non-batched fallback)
+	fields  []*grid.CField  // batched per-kernel fields (see fused.go)
 	single  [1]*grid.CField // reusable singleton for banded one-field transforms
 	sens    *grid.Field     // resist sensitivity W (hoisted out of the hot path)
 	aerial  *grid.Field     // aerial temp for PrintedBinary

@@ -119,6 +119,12 @@ type Session struct {
 	Convergence Convergence    `json:"convergence"`
 	Levels      []LevelSegment `json:"levels,omitempty"`
 	Health      []HealthEvent  `json:"health,omitempty"`
+	// Cancelled: the session observed a context cancellation at
+	// CancelledIter (a cancelled event); Checkpoints counts the
+	// resumable checkpoints it captured.
+	Cancelled     bool `json:"cancelled,omitempty"`
+	CancelledIter int  `json:"cancelled_iter,omitempty"`
+	Checkpoints   int  `json:"checkpoints,omitempty"`
 
 	switches []obs.Event // level_switch events, in emission order
 }
@@ -330,6 +336,13 @@ func Parse(in io.Reader, th Thresholds) (*Run, error) {
 			run.Health = append(run.Health, e)
 			s := run.session(e.Trace, "")
 			s.Health = append(s.Health, HealthEvent{Iter: e.Iter, Reason: e.Msg, Cost: e.Cost})
+		case obs.EventCancelled:
+			s := run.session(e.Trace, e.Engine)
+			s.Cancelled = true
+			s.CancelledIter = e.Iter
+		case obs.EventCheckpoint:
+			s := run.session(e.Trace, e.Engine)
+			s.Checkpoints++
 		case obs.EventTileDone:
 			if run.Tiled == nil {
 				run.Tiled = &TiledStats{}

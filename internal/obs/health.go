@@ -136,6 +136,50 @@ func (w *Watchdog) Observe(iter int, cost, gradNorm, timeStep float64) Verdict {
 	return Verdict{Reason: reason, Abort: w.policy.AbortOnUnhealthy}
 }
 
+// WatchdogState is the serialisable snapshot of a watchdog's sliding
+// windows and counters, captured into solver checkpoints so a resumed
+// run issues the same verdicts an uninterrupted one would.
+type WatchdogState struct {
+	PrevCost float64
+	HasPrev  bool
+	StallRun int
+	Window   []float64
+	WinLen   int
+	WinNext  int
+	Trips    int
+}
+
+// State captures the watchdog's mutable state. The window is cloned;
+// the policy is not part of the state (a resume re-supplies it).
+func (w *Watchdog) State() WatchdogState {
+	return WatchdogState{
+		PrevCost: w.prevCost,
+		HasPrev:  w.hasPrev,
+		StallRun: w.stallRun,
+		Window:   append([]float64(nil), w.window...),
+		WinLen:   w.winLen,
+		WinNext:  w.winNext,
+		Trips:    w.trips,
+	}
+}
+
+// Restore loads a captured state into the watchdog. The window length
+// is dictated by the watchdog's own policy; a state captured under a
+// different DivergenceWindow is truncated or zero-padded to fit.
+func (w *Watchdog) Restore(st WatchdogState) {
+	w.prevCost = st.PrevCost
+	w.hasPrev = st.HasPrev
+	w.stallRun = st.StallRun
+	w.trips = st.Trips
+	if len(w.window) == len(st.Window) {
+		copy(w.window, st.Window)
+		w.winLen, w.winNext = st.WinLen, st.WinNext
+	} else if len(w.window) > 0 {
+		n := copy(w.window, st.Window)
+		w.winLen, w.winNext = n, n%len(w.window)
+	}
+}
+
 // observeFinite runs the divergence and stall checks on a finite cost
 // and updates the window state.
 func (w *Watchdog) observeFinite(cost, timeStep float64) string {

@@ -76,6 +76,14 @@ const (
 	// after blending, Hit whether the seams converged below tolerance,
 	// and DurNS the pass wall time.
 	EventStitchPass = "stitch_pass"
+	// EventCancelled marks a run stopped cooperatively at an iteration
+	// boundary: Iter is the global iteration the run yielded at, Name
+	// the optimizer method, and Msg the cancellation cause.
+	EventCancelled = "cancelled"
+	// EventCheckpoint records a resumable checkpoint being captured at
+	// the same boundary: N carries the number of serialized state
+	// fields.
+	EventCheckpoint = "checkpoint"
 )
 
 // Event is one structured trace record. It is a flat union of the
@@ -263,6 +271,10 @@ func (e Event) String() string {
 	case EventStitchPass:
 		return fmt.Sprintf("%s %s pass=%d tiles=%d seam=%.6g converged=%v %.3fms",
 			e.Type, e.Trace, e.Pass, e.N, e.Seam, e.Hit, float64(e.DurNS)/1e6)
+	case EventCancelled:
+		return fmt.Sprintf("%s %s %s iter=%d %s", e.Type, e.Trace, e.Name, e.Iter, e.Msg)
+	case EventCheckpoint:
+		return fmt.Sprintf("%s %s %s iter=%d fields=%d", e.Type, e.Trace, e.Name, e.Iter, e.N)
 	default:
 		return fmt.Sprintf("%s %s %s", e.Type, e.Trace, e.Msg)
 	}

@@ -1,6 +1,8 @@
 package pixelilt
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -23,7 +25,7 @@ func TestWatchdogAbortsNaNBaseline(t *testing.T) {
 	opts.Sink = sink
 	opts.TraceID = "nan-baseline"
 
-	res, err := Optimize(sim, target, opts)
+	res, err := Optimize(context.Background(), sim, target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestWatchdogCleanBaseline(t *testing.T) {
 	hp := obs.DefaultHealthPolicy()
 	opts.Health = &hp
 
-	res, err := Optimize(sim, rectTarget(64, 24, 12), opts)
+	res, err := Optimize(context.Background(), sim, rectTarget(64, 24, 12), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

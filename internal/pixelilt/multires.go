@@ -1,130 +1,91 @@
 package pixelilt
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"lsopc/internal/grid"
 	"lsopc/internal/levelset"
 	"lsopc/internal/litho"
-	"lsopc/internal/obs"
+	"lsopc/internal/solve"
 )
 
-// optimizeMultiRes runs the baseline's coarse-to-fine schedule: θ
-// evolves on a MultiResFactor-downsampled grid first (the SOCS banks
-// truncate exactly to the coarse configuration, see optics.Bank.Coarse),
-// is interpolated spectrally onto each finer grid, and finishes at full
-// resolution on sim itself. Histories concatenate with globally
-// renumbered iterations; each hand-off emits a level_switch trace event.
-func optimizeMultiRes(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
-	n := sim.GridSize()
-	if target.W != n || target.H != n {
+// The baselines share the level-set method's coarse-to-fine machinery
+// (solve.RunLevels): θ evolves on a MultiResFactor-downsampled grid
+// first (the SOCS banks truncate exactly to the coarse configuration,
+// see optics.Bank.Coarse), is interpolated spectrally onto each finer
+// grid — without redistancing, θ is a sigmoid input, not a distance
+// function — and finishes at full resolution on sim itself. Histories
+// concatenate with globally renumbered iterations; each hand-off emits
+// a level_switch trace event named after the variant.
+
+// runSchedule drives solve.RunLevels over the baseline program and
+// assembles this package's Result from the merged outcome.
+func runSchedule(ctx context.Context, sim *litho.Simulator, target *grid.Field, opts Options, resume *solve.Checkpoint) (*Result, error) {
+	if n := sim.GridSize(); target.W != n || target.H != n {
 		return nil, fmt.Errorf("pixelilt: target %dx%d does not match grid %d", target.W, target.H, n)
 	}
-	numCoarse := 0
-	for f := opts.MultiResFactor; f > 1; f /= 2 {
-		numCoarse++
-	}
-	perCoarse := opts.MultiResIters
-	if perCoarse == 0 {
-		perCoarse = opts.MaxIter / (2 * numCoarse)
-	}
-	if perCoarse < 1 {
-		perCoarse = 1
-	}
-	fineIters := opts.MaxIter - numCoarse*perCoarse
-	if fineIters < 1 {
-		fineIters = 1
-	}
-
-	total := &Result{}
-	var theta *grid.Field // hand-off θ, already at the next level's resolution
-	globalIter := 0
-
-	for f := opts.MultiResFactor; f > 1; f /= 2 {
-		cres, err := sim.Resources().Coarse(f)
-		if err != nil {
-			return nil, err
-		}
-		ccfg := sim.Config()
-		ccfg.Optics = cres.Optics()
-		csim, err := litho.NewSession(cres, ccfg, sim.Engine())
-		if err != nil {
-			return nil, err
-		}
-		ctarget := target.Downsample(f)
-		ctarget.Binarize(ctarget)
-
-		lopts := opts
-		lopts.MaxIter = perCoarse
-		lopts.IterOffset = globalIter
-		lopts.CleanupTinyPx = 0 // final-mask-only cleanup
-
-		lres, ltheta, err := optimizeLevel(csim, ctarget, lopts, theta)
-		csim.Release()
-		if err != nil {
-			return nil, err
-		}
-		mergeLevel(total, lres, &globalIter)
-
-		if lres.Aborted {
-			// Surface the abort with θ lifted to full resolution so the
-			// result masks match the caller's grid.
-			total.Aborted = true
-			total.AbortReason = lres.AbortReason
-			total.Gray, total.Mask = masksFromTheta(upsampleThetaTo(ltheta, f), opts.MaskSteepness)
-			return total, nil
-		}
-
-		interpStart := time.Now()
-		theta = levelset.UpsampleSpectral(ltheta, 2)
-		if opts.Sink != nil {
-			opts.Sink.Emit(obs.Event{
-				Type:   obs.EventLevelSwitch,
-				Trace:  opts.TraceID,
-				Name:   opts.Variant.String(),
-				Engine: sim.Engine().Name(),
-				Iter:   globalIter,
-				OldN:   ltheta.W,
-				N:      theta.W,
-				DurNS:  time.Since(interpStart).Nanoseconds(),
-			})
-		}
-	}
-
-	lopts := opts
-	lopts.MaxIter = fineIters
-	lopts.IterOffset = globalIter
-	fres, _, err := optimizeLevel(sim, target, lopts, theta)
+	prog := &levelProgram{opts: opts}
+	sched := solve.Plan(opts.MaxIter, opts.MultiResFactor, opts.MultiResIters)
+	out, err := solve.RunLevels(ctx, sim, target, sched, prog, opts.Sink, opts.TraceID, opts.IterOffset, resume)
 	if err != nil {
 		return nil, err
 	}
-	mergeLevel(total, fres, &globalIter)
-	total.Mask = fres.Mask
-	total.Gray = fres.Gray
-	total.Aborted = fres.Aborted
-	total.AbortReason = fres.AbortReason
+	total := &Result{
+		Iterations:  out.Iterations,
+		Aborted:     out.Aborted,
+		AbortReason: out.AbortReason,
+		History:     historyFromSolve(out.History),
+		CornerSims:  out.Evals,
+	}
+	if prog.res != nil {
+		// The full-resolution level ran: its assembly (binarisation,
+		// manufacturability cleanup) is the run's mask pair.
+		total.Mask = prog.res.Mask
+		total.Gray = prog.res.Gray
+	} else {
+		// A poisoned coarse run aborted the schedule: θ arrives lifted to
+		// full resolution so the result masks match the caller's grid.
+		total.Gray, total.Mask = masksFromTheta(out.State, opts.MaskSteepness)
+	}
 	return total, nil
 }
 
-// mergeLevel appends one level's history (already globally numbered via
-// Options.IterOffset) and accumulates the corner-simulation count.
-func mergeLevel(total, level *Result, globalIter *int) {
-	total.History = append(total.History, level.History...)
-	*globalIter += level.Iterations
-	total.Iterations = *globalIter
-	total.CornerSims += level.CornerSims
+// levelProgram adapts the pixel baselines to solve.RunLevels.
+type levelProgram struct {
+	opts Options
+	res  *Result // full-resolution level's assembled result
 }
 
-// upsampleThetaTo lifts θ by the given total factor via repeated 2×
-// spectral interpolation.
-func upsampleThetaTo(theta *grid.Field, factor int) *grid.Field {
-	for ; factor > 1; factor /= 2 {
-		theta = levelset.UpsampleSpectral(theta, 2)
+// Level builds the stepper and driver for one resolution level.
+func (p *levelProgram) Level(sim *litho.Simulator, target *grid.Field, cfg solve.LevelConfig) (*solve.Driver, func(*solve.Outcome), func(), error) {
+	lopts := p.opts
+	lopts.MaxIter = cfg.MaxIter
+	lopts.IterOffset = cfg.Offset
+	if cfg.Coarse {
+		lopts.CleanupTinyPx = 0 // manufacturability cleanup is final-mask-only
 	}
-	return theta
+	s, err := newStepper(sim, target, lopts, cfg.State)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	finish := func(out *solve.Outcome) {
+		if !cfg.Coarse {
+			p.res = s.finish(out)
+		}
+	}
+	return s.driver(), finish, s.release, nil
 }
+
+// Upsample lifts θ onto the 2× finer grid by spectral interpolation —
+// no redistancing: θ is a sigmoid input, not a signed distance.
+func (p *levelProgram) Upsample(theta *grid.Field) *grid.Field {
+	return levelset.UpsampleSpectral(theta, 2)
+}
+
+// TraceName tags level_switch events with the variant name.
+func (p *levelProgram) TraceName() string { return p.opts.Variant.String() }
 
 // masksFromTheta builds the continuous and binarised masks of θ.
 func masksFromTheta(theta *grid.Field, a float64) (gray, bin *grid.Field) {

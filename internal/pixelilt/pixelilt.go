@@ -22,14 +22,16 @@
 package pixelilt
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"lsopc/internal/grid"
 	"lsopc/internal/litho"
 	"lsopc/internal/metrics"
 	"lsopc/internal/obs"
+	"lsopc/internal/rt"
+	"lsopc/internal/solve"
 )
 
 // Variant selects the baseline algorithm.
@@ -219,139 +221,247 @@ func (o Options) constantCornerPlan() bool {
 
 // Optimize runs the pixel-based baseline on the simulator for the given
 // target image. With MultiResFactor > 1 the schedule runs coarse-to-fine
-// (see optimizeMultiRes).
-func Optimize(sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
+// (see multires.go). Cancellation through ctx yields a *solve.Cancelled
+// error whose checkpoint Resume continues from.
+func Optimize(ctx context.Context, sim *litho.Simulator, target *grid.Field, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.MultiResFactor > 1 {
-		return optimizeMultiRes(sim, target, opts)
+		return runSchedule(ctx, sim, target, opts, nil)
 	}
-	res, _, err := optimizeLevel(sim, target, opts, nil)
-	return res, err
+	return runSingle(ctx, sim, target, opts, nil)
 }
 
-// optimizeLevel runs the schedule at one resolution. thetaInit seeds θ
-// when non-nil (the coarse-to-fine hand-off; the caller keeps
-// ownership), and the final θ is returned alongside the result so the
-// next level can continue from it.
-func optimizeLevel(sim *litho.Simulator, target *grid.Field, opts Options, thetaInit *grid.Field) (*Result, *grid.Field, error) {
-	n := sim.GridSize()
-	if target.W != n || target.H != n {
-		return nil, nil, fmt.Errorf("pixelilt: target %dx%d does not match grid %d", target.W, target.H, n)
+// Resume continues a run from a checkpoint captured at cancellation.
+// opts must be the options of the original run; the result then matches
+// the uninterrupted run bit-for-bit.
+func Resume(ctx context.Context, sim *litho.Simulator, target *grid.Field, opts Options, cp *solve.Checkpoint) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
+	if cp == nil {
+		return nil, fmt.Errorf("pixelilt: nil checkpoint")
+	}
+	if opts.MultiResFactor > 1 {
+		return runSchedule(ctx, sim, target, opts, cp)
+	}
+	if cp.Factor != 1 {
+		return nil, fmt.Errorf("pixelilt: checkpoint at resolution factor %d, but the run is single-resolution", cp.Factor)
+	}
+	return runSingle(ctx, sim, target, opts, cp)
+}
 
-	// Scratch is leased from the simulator's pool and returned on exit;
-	// only the result masks are freshly allocated.
-	pool := sim.Pool()
-	theta := pool.Field(n, n)
-	mask := pool.Field(n, n)
-	maskSpec := pool.CField(n, n)
-	gradM := pool.Field(n, n)
-	imgs := litho.LeaseCornerImages(pool, n)
-	defer func() {
-		pool.PutField(theta)
-		pool.PutField(mask)
-		pool.PutCField(maskSpec)
-		pool.PutField(gradM)
-		imgs.ReleaseTo(pool)
-	}()
-
-	// θ initialised from the design (+1 inside, −1 outside; M≈σ(±a))
-	// unless a coarser level handed one over.
-	if thetaInit != nil {
-		theta.CopyFrom(thetaInit)
-	} else {
-		for i, v := range target.Data {
-			theta.Data[i] = 2*v - 1
+// runSingle runs one resolution level end to end, optionally restoring
+// a checkpoint first.
+func runSingle(ctx context.Context, sim *litho.Simulator, target *grid.Field, opts Options, cp *solve.Checkpoint) (*Result, error) {
+	s, err := newStepper(sim, target, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	drv := s.driver()
+	if cp != nil {
+		if err := drv.Restore(cp); err != nil {
+			return nil, err
 		}
 	}
-	a := opts.MaskSteepness
+	out, err := drv.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s.finish(out), nil
+}
 
+// stepper adapts one baseline level to the solve.Stepper contract: Eval
+// simulates the variant's corner plan and leaves dL/dθ in gradM, Advance
+// applies the normalised gradient-descent update to θ. The driver owns
+// the loop bookkeeping (budget, history, watchdog, tracing).
+type stepper struct {
+	sim    *litho.Simulator
+	opts   Options
+	pool   *rt.Pool
+	target *grid.Field
+	a      float64 // MaskSteepness
+	theta  *grid.Field
+	mask   *grid.Field
+	spec   *grid.CField
+	gradM  *grid.Field
+	imgs   *litho.CornerImages
+	maxG   float64 // ∞-norm of dL/dθ from the latest Eval
+}
+
+// newStepper leases scratch from the simulator's pool and seeds θ from
+// the design (+1 inside, −1 outside; M≈σ(±a)) unless a coarser level
+// handed one over via thetaInit (caller keeps ownership).
+func newStepper(sim *litho.Simulator, target *grid.Field, opts Options, thetaInit *grid.Field) (*stepper, error) {
+	n := sim.GridSize()
+	if target.W != n || target.H != n {
+		return nil, fmt.Errorf("pixelilt: target %dx%d does not match grid %d", target.W, target.H, n)
+	}
+	pool := sim.Pool()
+	s := &stepper{
+		sim:    sim,
+		opts:   opts,
+		pool:   pool,
+		target: target,
+		a:      opts.MaskSteepness,
+		theta:  pool.Field(n, n),
+		mask:   pool.Field(n, n),
+		spec:   pool.CField(n, n),
+		gradM:  pool.Field(n, n),
+		imgs:   litho.LeaseCornerImages(pool, n),
+	}
+	if thetaInit != nil {
+		s.theta.CopyFrom(thetaInit)
+	} else {
+		for i, v := range target.Data {
+			s.theta.Data[i] = 2*v - 1
+		}
+	}
 	if opts.Sink != nil {
 		sim.SetSink(opts.Sink, opts.TraceID)
 	}
-	var wd *obs.Watchdog
-	if opts.Health != nil {
-		hp := *opts.Health
-		if !opts.constantCornerPlan() {
-			// MOSAIC_fast cycles corners and PVOPC switches phases, so
-			// successive iteration costs sum different corner subsets;
-			// windowed stall/divergence checks would compare
-			// incommensurable values. Keep only the non-finite check.
-			hp.StallWindow = 0
-			hp.DivergenceWindow = 0
-		}
-		wd = obs.NewWatchdog(hp, opts.Sink, opts.TraceID)
+	return s, nil
+}
+
+// release returns the leased scratch to the pool.
+func (s *stepper) release() {
+	s.pool.PutField(s.theta)
+	s.pool.PutField(s.mask)
+	s.pool.PutCField(s.spec)
+	s.pool.PutField(s.gradM)
+	s.imgs.ReleaseTo(s.pool)
+}
+
+// driver builds the solve driver for this level. The baselines use a
+// fixed step (no adaptive scale, no keep-best) and stop only on budget
+// or a vanished gradient (Tolerance 0: maxV ≤ 0 iff the ∞-norm is 0).
+func (s *stepper) driver() *solve.Driver {
+	health := s.opts.Health
+	if health != nil && !s.opts.constantCornerPlan() {
+		// MOSAIC_fast cycles corners and PVOPC switches phases, so
+		// successive iteration costs sum different corner subsets;
+		// windowed stall/divergence checks would compare incommensurable
+		// values. Keep only the non-finite check.
+		hp := *health
+		hp.StallWindow = 0
+		hp.DivergenceWindow = 0
+		health = &hp
 	}
-	res := &Result{}
-	for i := 0; i < opts.MaxIter; i++ {
-		iterStart := time.Now()
-		gi := i + opts.IterOffset // globally reported iteration number
-		// M = σ(a·θ).
-		for j, v := range theta.Data {
-			mask.Data[j] = 1 / (1 + math.Exp(-a*v))
-		}
-		sim.MaskSpectrumInto(maskSpec, mask)
+	return solve.NewDriver(s, solve.Config{
+		Method:    s.opts.Variant.String(),
+		MaxIter:   s.opts.MaxIter,
+		Offset:    s.opts.IterOffset,
+		BaseScale: s.opts.StepSize,
+		Sink:      s.opts.Sink,
+		Trace:     s.opts.TraceID,
+		Engine:    s.sim.Engine().Name(),
+		Health:    health,
+	})
+}
 
-		corners, weights := opts.cornerPlan(i)
-		gradM.Zero()
-		cost := 0.0
-		for c, cond := range corners {
-			cost += sim.ForwardAndGradient(gradM, maskSpec, cond, target, imgs, weights[c])
-		}
-		res.History = append(res.History, IterStats{Iter: gi, Cost: cost, CornerSim: len(corners)})
-		res.CornerSims += len(corners)
-		if opts.Sink != nil {
-			opts.Sink.Emit(obs.Event{
-				Type:   obs.EventIteration,
-				Trace:  opts.TraceID,
-				Name:   opts.Variant.String(),
-				Engine: sim.Engine().Name(),
-				Iter:   gi,
-				N:      len(corners),
-				Cost:   cost,
-				DurNS:  time.Since(iterStart).Nanoseconds(),
-			})
-		}
+// Eval simulates local iteration i's corner plan and computes dL/dθ.
+func (s *stepper) Eval(i int) solve.Stats {
+	a := s.a
+	// M = σ(a·θ).
+	for j, v := range s.theta.Data {
+		s.mask.Data[j] = 1 / (1 + math.Exp(-a*v))
+	}
+	s.sim.MaskSpectrumInto(s.spec, s.mask)
 
-		// dL/dθ = dL/dM ⊙ a·M(1−M); normalised step keeps the update
-		// scale-free across benchmarks.
-		maxG := 0.0
-		for j := range gradM.Data {
-			m := mask.Data[j]
-			gradM.Data[j] *= a * m * (1 - m)
-			if g := math.Abs(gradM.Data[j]); g > maxG {
-				maxG = g
-			}
-		}
-		res.Iterations = i + 1
-		// Health watchdog: abort in the same iteration on NaN/Inf cost
-		// or gradient, divergence, or a stalled schedule.
-		if wd != nil {
-			if v := wd.Observe(gi, cost, maxG, opts.StepSize); v.Abort {
-				res.Aborted = true
-				res.AbortReason = v.Reason
-				break
-			}
-		}
-		if maxG == 0 {
-			break
-		}
-		theta.AddScaled(gradM, -opts.StepSize/maxG)
+	corners, weights := s.opts.cornerPlan(i)
+	s.gradM.Zero()
+	cost := 0.0
+	for c, cond := range corners {
+		cost += s.sim.ForwardAndGradient(s.gradM, s.spec, cond, s.target, s.imgs, weights[c])
 	}
 
-	// Final mask: σ(a·θ) binarised at ½ (θ = 0).
-	gray := grid.NewField(n, n)
-	for j, v := range theta.Data {
-		gray.Data[j] = 1 / (1 + math.Exp(-a*v))
+	// dL/dθ = dL/dM ⊙ a·M(1−M); the ∞-norm normalises the step, keeping
+	// the update scale-free across benchmarks.
+	maxG := 0.0
+	for j := range s.gradM.Data {
+		m := s.mask.Data[j]
+		s.gradM.Data[j] *= a * m * (1 - m)
+		if g := math.Abs(s.gradM.Data[j]); g > maxG {
+			maxG = g
+		}
 	}
-	bin := grid.NewField(n, n)
-	bin.Binarize(gray)
-	if opts.CleanupTinyPx > 0 {
-		metrics.RemoveTinyFeatures(bin, opts.CleanupTinyPx, opts.CleanupTinyPx)
+	s.maxG = maxG
+	return solve.Stats{
+		Cost:  cost,
+		Evals: len(corners),
+		Name:  s.opts.Variant.String(),
 	}
-	res.Mask = bin
-	res.Gray = gray
-	return res, theta.Clone(), nil
+}
+
+// SaveBest is never called: the baselines report the final iterate.
+func (s *stepper) SaveBest() {}
+
+// StepSize: the move is the fixed step size; the convergence statistic
+// is the gradient ∞-norm (zero gradient stops the run).
+func (s *stepper) StepSize(scale float64) (dt, maxV float64) { return scale, s.maxG }
+
+// GradNorm feeds the watchdog the same statistic the pre-driver loop
+// judged: the ∞-norm of dL/dθ.
+func (s *stepper) GradNorm() float64 { return s.maxG }
+
+// Advance applies the normalised gradient-descent update.
+func (s *stepper) Advance(i int, dt float64) float64 {
+	s.theta.AddScaled(s.gradM, -dt/s.maxG)
+	return dt
+}
+
+// Snapshot clones the current continuous mask σ(a·θ).
+func (s *stepper) Snapshot() *grid.Field { return s.mask.Clone() }
+
+// State clones θ — the multi-resolution hand-off.
+func (s *stepper) State() *grid.Field { return s.theta.Clone() }
+
+// SaveState captures θ, the only state a bit-exact resume needs (the
+// corner plan is a pure function of the iteration number).
+func (s *stepper) SaveState() map[string]*grid.Field {
+	return map[string]*grid.Field{"theta": s.theta.Clone()}
+}
+
+// RestoreState loads a SaveState map back into the stepper.
+func (s *stepper) RestoreState(st map[string]*grid.Field) error {
+	theta, ok := st["theta"]
+	if !ok {
+		return fmt.Errorf("pixelilt: checkpoint state has no theta field")
+	}
+	if theta.W != s.theta.W || theta.H != s.theta.H {
+		return fmt.Errorf("pixelilt: checkpoint theta %dx%d does not match grid %d", theta.W, theta.H, s.theta.W)
+	}
+	s.theta.CopyFrom(theta)
+	return nil
+}
+
+// finish assembles this package's Result from a level outcome while the
+// stepper's θ is still live: σ(a·θ) binarised at ½ (θ = 0), with the
+// manufacturability cleanup on the binary mask.
+func (s *stepper) finish(out *solve.Outcome) *Result {
+	gray, bin := masksFromTheta(s.theta, s.a)
+	if s.opts.CleanupTinyPx > 0 {
+		metrics.RemoveTinyFeatures(bin, s.opts.CleanupTinyPx, s.opts.CleanupTinyPx)
+	}
+	return &Result{
+		Mask:        bin,
+		Gray:        gray,
+		Iterations:  out.Iterations,
+		Aborted:     out.Aborted,
+		AbortReason: out.AbortReason,
+		History:     historyFromSolve(out.History),
+		CornerSims:  out.Evals,
+	}
+}
+
+// historyFromSolve converts driver history rows to this package's
+// schema.
+func historyFromSolve(hist []solve.IterStats) []IterStats {
+	out := make([]IterStats, len(hist))
+	for i, h := range hist {
+		out[i] = IterStats{Iter: h.Iter, Cost: h.Cost, CornerSim: h.Evals}
+	}
+	return out
 }

@@ -1,6 +1,8 @@
 package pixelilt
 
 import (
+	"context"
+
 	"testing"
 
 	"lsopc/internal/engine"
@@ -130,7 +132,7 @@ func TestOptimizeReducesCostAllVariants(t *testing.T) {
 		sim := newTestSim(t, 3)
 		opts := DefaultOptions(v)
 		opts.MaxIter = 12
-		res, err := Optimize(sim, target, opts)
+		res, err := Optimize(context.Background(), sim, target, opts)
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
@@ -171,7 +173,7 @@ func TestCornerSimAccounting(t *testing.T) {
 
 	fast := DefaultOptions(MosaicFast)
 	fast.MaxIter = 9
-	rf, err := Optimize(sim, target, fast)
+	rf, err := Optimize(context.Background(), sim, target, fast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestCornerSimAccounting(t *testing.T) {
 
 	exact := DefaultOptions(MosaicExact)
 	exact.MaxIter = 9
-	re, err := Optimize(sim, target, exact)
+	re, err := Optimize(context.Background(), sim, target, exact)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,12 +194,12 @@ func TestCornerSimAccounting(t *testing.T) {
 
 func TestOptimizeRejectsBadInput(t *testing.T) {
 	sim := newTestSim(t, 2)
-	if _, err := Optimize(sim, grid.NewField(32, 32), DefaultOptions(MosaicFast)); err == nil {
+	if _, err := Optimize(context.Background(), sim, grid.NewField(32, 32), DefaultOptions(MosaicFast)); err == nil {
 		t.Fatal("mismatched target accepted")
 	}
 	o := DefaultOptions(MosaicFast)
 	o.MaxIter = 0
-	if _, err := Optimize(sim, rectTarget(64, 8, 8), o); err == nil {
+	if _, err := Optimize(context.Background(), sim, rectTarget(64, 8, 8), o); err == nil {
 		t.Fatal("invalid options accepted")
 	}
 }
@@ -206,11 +208,11 @@ func TestOptimizeDeterministic(t *testing.T) {
 	target := rectTarget(64, 24, 12)
 	opts := DefaultOptions(PVOPC)
 	opts.MaxIter = 8
-	a, err := Optimize(newTestSim(t, 2), target, opts)
+	a, err := Optimize(context.Background(), newTestSim(t, 2), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Optimize(newTestSim(t, 2), target, opts)
+	b, err := Optimize(context.Background(), newTestSim(t, 2), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +223,7 @@ func TestOptimizeDeterministic(t *testing.T) {
 
 func TestGrayMaskConsistentWithBinary(t *testing.T) {
 	target := rectTarget(64, 20, 14)
-	res, err := Optimize(newTestSim(t, 2), target, DefaultOptions(MosaicFast))
+	res, err := Optimize(context.Background(), newTestSim(t, 2), target, DefaultOptions(MosaicFast))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,116 @@
+package solve
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/obs"
+)
+
+// Checkpoint is the serialisable state of a run captured at an
+// iteration boundary. It holds everything a bit-exact resume needs:
+// the evolving fields (ψ or θ plus the CG memory), the driver's scalar
+// bookkeeping (step scale, previous/best cost), the history recorded so
+// far, the watchdog counters, and — for multi-resolution runs — the
+// completed coarser levels' history and the level position. Snapshots
+// are not checkpointed: a resumed run re-records snapshots only from
+// its resume point onward.
+//
+// The optimizer loops consume no randomness, so no RNG state is
+// captured; identical options plus a checkpoint reproduce the
+// uninterrupted run exactly on the default float64 path.
+type Checkpoint struct {
+	// Method tags the optimizer that produced the checkpoint
+	// ("level-set" or a pixel-baseline variant name).
+	Method string
+	// Factor is the resolution level the run was in (grid downsample
+	// factor; 1 = full resolution).
+	Factor int
+	// Iter is the next level-local iteration index.
+	Iter int
+	// Offset is the level's global iteration offset.
+	Offset int
+	// Scale is the adaptive step scale (λ_t for the level set).
+	Scale    float64
+	PrevCost float64
+	HasPrev  bool
+	BestCost float64
+	Evals    int
+	// History holds the current level's iterations recorded so far
+	// (globally numbered).
+	History []IterStats
+	// Done holds the completed coarser levels' merged history.
+	Done      []IterStats
+	DoneIters int
+	DoneEvals int
+	Watchdog  *obs.WatchdogState
+	// State maps the method's field names ("psi", "theta", …) to
+	// cloned grids.
+	State map[string]*grid.Field
+}
+
+// WriteCheckpoint gob-encodes a checkpoint. The encoding is binary, so
+// NaN/Inf costs survive a round trip bitwise.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// ReadCheckpoint decodes a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	cp := new(Checkpoint)
+	if err := gob.NewDecoder(r).Decode(cp); err != nil {
+		return nil, fmt.Errorf("solve: decoding checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// SaveCheckpoint writes a checkpoint to a file.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCheckpoint(f, cp); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint reads a checkpoint from a file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// Cancelled is the error Driver.Run (and everything layered on it)
+// returns when the context is cancelled at an iteration boundary. It
+// carries the checkpoint captured at that boundary and unwraps to the
+// context's error, so errors.Is(err, context.Canceled) works and
+// errors.As recovers the checkpoint.
+type Cancelled struct {
+	Checkpoint *Checkpoint
+	cause      error
+}
+
+// NewCancelled wraps a cause and checkpoint — exposed for layers (like
+// the tiled runner) that surface their own cancellation boundary.
+func NewCancelled(cp *Checkpoint, cause error) *Cancelled {
+	return &Cancelled{Checkpoint: cp, cause: cause}
+}
+
+func (c *Cancelled) Error() string {
+	return fmt.Sprintf("solve: %s run cancelled at iteration %d: %v",
+		c.Checkpoint.Method, c.Checkpoint.Offset+c.Checkpoint.Iter, c.cause)
+}
+
+// Unwrap returns the cancellation cause (usually context.Canceled or
+// context.DeadlineExceeded).
+func (c *Cancelled) Unwrap() error { return c.cause }

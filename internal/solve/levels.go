@@ -1,0 +1,199 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"lsopc/internal/grid"
+	"lsopc/internal/litho"
+	"lsopc/internal/obs"
+)
+
+// LevelConfig describes one resolution level of a schedule to
+// Program.Level.
+type LevelConfig struct {
+	// MaxIter is the level's iteration budget.
+	MaxIter int
+	// Offset is the global iteration number of the level's first step.
+	Offset int
+	// State is the previous level's upsampled hand-off (ψ or θ), nil on
+	// the first level run (including a level being resumed from a
+	// checkpoint, whose state arrives via Driver.Restore instead).
+	State *grid.Field
+	// Coarse marks every level except the final full-resolution one;
+	// methods disable final-mask-only bookkeeping (keep-best,
+	// snapshots, cleanup) on coarse levels.
+	Coarse bool
+}
+
+// Program adapts a method (core, pixelilt) to the multi-resolution
+// runner: it builds one Driver per level and owns the state
+// interpolation between levels.
+type Program interface {
+	// Level builds the driver for one level. finish is invoked with the
+	// level's outcome after a successful run while the level's
+	// resources are still live (methods assemble their final masks
+	// there); cleanup releases the level's scratch and is always called
+	// after the level ends, success or not.
+	Level(sim *litho.Simulator, target *grid.Field, cfg LevelConfig) (drv *Driver, finish func(*Outcome), cleanup func(), err error)
+	// Upsample lifts the evolving state onto a 2× finer grid (the
+	// method decides whether to redistance afterwards).
+	Upsample(state *grid.Field) *grid.Field
+	// TraceName tags level_switch events ("" omits the field).
+	TraceName() string
+}
+
+// RunLevels executes a coarse-to-fine schedule over the program:
+// Algorithm 1 on a downsampled grid first, halving the factor each
+// level, finishing at full resolution on sim itself. Coarse sessions
+// are created on exactly-truncated kernel banks (sharing sim's resource
+// pool) and released before the next level starts; histories
+// concatenate with globally renumbered iterations and each hand-off
+// emits a level_switch trace event.
+//
+// offset seeds the global iteration numbering. A non-nil resume
+// checkpoint fast-forwards the schedule to the checkpointed level and
+// restores its driver, continuing bit-identically. On cancellation the
+// returned *Cancelled checkpoint is annotated with the schedule
+// position (factor, completed levels' history) so resume can rebuild
+// the whole run.
+func RunLevels(ctx context.Context, sim *litho.Simulator, target *grid.Field, sched Schedule, prog Program, sink obs.Sink, trace string, offset int, resume *Checkpoint) (*Outcome, error) {
+	total := &Outcome{}
+	globalIter := offset
+	start := 0
+	if resume != nil {
+		start = -1
+		for li, f := range sched.Factors {
+			if f == resume.Factor {
+				start = li
+				break
+			}
+		}
+		if start < 0 {
+			return nil, fmt.Errorf("solve: checkpoint level factor %d is not in the schedule %v", resume.Factor, sched.Factors)
+		}
+		total.History = append(total.History, resume.Done...)
+		total.Evals = resume.DoneEvals
+		globalIter = resume.DoneIters
+		total.Iterations = globalIter
+	}
+
+	var state *grid.Field // hand-off, already at the next level's resolution
+	for li := start; li < len(sched.Factors); li++ {
+		f := sched.Factors[li]
+		lsim := sim
+		var csim *litho.Simulator
+		if f > 1 {
+			cres, err := sim.Resources().Coarse(f)
+			if err != nil {
+				return nil, err
+			}
+			ccfg := sim.Config()
+			ccfg.Optics = cres.Optics()
+			csim, err = litho.NewSession(cres, ccfg, sim.Engine())
+			if err != nil {
+				return nil, err
+			}
+			lsim = csim
+		}
+		ltarget := target
+		if f > 1 {
+			// The coarse target is the box-averaged design re-binarised
+			// at half coverage — the same pattern at the coarse pitch.
+			ltarget = target.Downsample(f)
+			ltarget.Binarize(ltarget)
+		}
+
+		drv, finish, cleanup, err := prog.Level(lsim, ltarget, LevelConfig{
+			MaxIter: sched.Iters[li],
+			Offset:  globalIter,
+			State:   state,
+			Coarse:  f > 1,
+		})
+		if err != nil {
+			if csim != nil {
+				csim.Release()
+			}
+			return nil, err
+		}
+		if resume != nil && li == start {
+			if err := drv.Restore(resume); err != nil {
+				cleanup()
+				if csim != nil {
+					csim.Release()
+				}
+				return nil, err
+			}
+		}
+		out, err := drv.Run(ctx)
+		if err != nil {
+			// Annotate the level checkpoint with the schedule position
+			// so resume can rebuild the surrounding levels.
+			var c *Cancelled
+			if errors.As(err, &c) {
+				c.Checkpoint.Factor = f
+				c.Checkpoint.Done = append([]IterStats(nil), total.History...)
+				c.Checkpoint.DoneIters = globalIter
+				c.Checkpoint.DoneEvals = total.Evals
+			}
+			cleanup()
+			if csim != nil {
+				csim.Release()
+			}
+			return nil, err
+		}
+		finish(out)
+		cleanup()
+		if csim != nil {
+			csim.Release()
+		}
+
+		total.History = append(total.History, out.History...)
+		globalIter += out.Iterations
+		total.Iterations = globalIter
+		total.Evals += out.Evals
+
+		if f == 1 {
+			// Final full-resolution level: the outcome is the run's.
+			total.Converged = out.Converged
+			total.Aborted = out.Aborted
+			total.AbortReason = out.AbortReason
+			total.Snapshots = out.Snapshots
+			total.BestCost = out.BestCost
+			total.State = out.State
+			return total, nil
+		}
+		if out.Aborted {
+			// A poisoned coarse run must not feed the next level.
+			// Surface the abort with the state lifted to full resolution
+			// so the result shape matches the caller's grid.
+			total.Aborted = true
+			total.AbortReason = out.AbortReason
+			st := out.State
+			for lift := f; lift > 1; lift /= 2 {
+				st = prog.Upsample(st)
+			}
+			total.State = st
+			return total, nil
+		}
+
+		// Hand-off: interpolate onto the next level's grid.
+		interpStart := time.Now()
+		state = prog.Upsample(out.State)
+		if sink != nil {
+			sink.Emit(obs.Event{
+				Type:   obs.EventLevelSwitch,
+				Trace:  trace,
+				Name:   prog.TraceName(),
+				Engine: sim.Engine().Name(),
+				Iter:   globalIter,
+				OldN:   out.State.W,
+				N:      state.W,
+				DurNS:  time.Since(interpStart).Nanoseconds(),
+			})
+		}
+	}
+	return total, nil
+}

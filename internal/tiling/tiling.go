@@ -17,6 +17,7 @@
 package tiling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -155,9 +156,9 @@ type TileStat struct {
 
 // Result is a completed tiled optimization.
 type Result struct {
-	Mask *grid.Field // chip-resolution binary mask
-	Psi  *grid.Field // blended chip-resolution level-set function
-	Grid *Grid
+	Mask  *grid.Field // chip-resolution binary mask
+	Psi   *grid.Field // blended chip-resolution level-set function
+	Grid  *Grid
 	Tiles []TileStat
 	// Passes is the number of stitch passes run; Seam the final worst
 	// overlap disagreement fraction; SeamConverged whether it is at or
@@ -256,7 +257,14 @@ func kernelEnergyRadius(spec *grid.CField, eng *engine.Engine) int {
 // Optimize runs the full tiled optimization of chip on the given
 // resource bank (whose grid defines the tile window), engine and
 // configuration. See the package comment for the algorithm.
-func Optimize(res *rt.Bank, cfg litho.Config, eng *engine.Engine, chip *geom.Layout, opts Options) (*Result, error) {
+//
+// Cancelling ctx stops the run promptly: in-flight tiles observe the
+// cancellation at their next iteration boundary, queued tiles and
+// pending stitch passes are skipped, and the error unwraps to the
+// context's error. A cancelled tiled run is not checkpointable — tiles
+// restart from the blended consensus anyway, so a resume re-runs the
+// interrupted pass.
+func Optimize(ctx context.Context, res *rt.Bank, cfg litho.Config, eng *engine.Engine, chip *geom.Layout, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := chip.Validate(); err != nil {
 		return nil, err
@@ -319,7 +327,7 @@ func Optimize(res *rt.Bank, cfg litho.Config, eng *engine.Engine, chip *geom.Lay
 	for i := range all {
 		all[i] = i
 	}
-	if err := r.runPass(0, all, nil); err != nil {
+	if err := r.runPass(ctx, 0, all, nil); err != nil {
 		return nil, err
 	}
 
@@ -329,9 +337,12 @@ func Optimize(res *rt.Bank, cfg litho.Config, eng *engine.Engine, chip *geom.Lay
 	seam, dirty := r.seamDisagreement(seamTol)
 	passes := 0
 	for p := 1; p <= stitchPasses && seam > seamTol && len(dirty) > 0; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		passStart := time.Now()
 		chipPsi := r.blend()
-		if err := r.runPass(p, dirty, chipPsi); err != nil {
+		if err := r.runPass(ctx, p, dirty, chipPsi); err != nil {
 			return nil, err
 		}
 		seam, dirty = r.seamDisagreement(seamTol)
@@ -390,7 +401,7 @@ func (r *runner) fail(err error) {
 // sub-engines. pass 0 is the independent sweep; later passes re-start
 // each tile from its window slice of the blended chip ψ with the stitch
 // iteration budget.
-func (r *runner) runPass(pass int, tiles []int, chipPsi *grid.Field) error {
+func (r *runner) runPass(ctx context.Context, pass int, tiles []int, chipPsi *grid.Field) error {
 	r.lastRun = tiles
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -408,10 +419,16 @@ func (r *runner) runPass(pass int, tiles []int, chipPsi *grid.Field) error {
 			}
 			defer sim.Release()
 			for ti := range idx {
+				// Drain the queue even once failed or cancelled so the
+				// feeder below never blocks.
 				if r.aborted.Load() {
 					continue
 				}
-				if err := r.runTile(sim, ti, pass, chipPsi); err != nil {
+				if err := ctx.Err(); err != nil {
+					r.fail(err)
+					continue
+				}
+				if err := r.runTile(ctx, sim, ti, pass, chipPsi); err != nil {
 					r.fail(err)
 				}
 			}
@@ -429,7 +446,7 @@ func (r *runner) runPass(pass int, tiles []int, chipPsi *grid.Field) error {
 }
 
 // runTile optimizes one tile window on the worker's simulator.
-func (r *runner) runTile(sim *litho.Simulator, ti, pass int, chipPsi *grid.Field) error {
+func (r *runner) runTile(ctx context.Context, sim *litho.Simulator, ti, pass int, chipPsi *grid.Field) error {
 	t := r.grid.Tiles[ti]
 	clip := r.chip.Clip(t.Window)
 	wpx := r.grid.WindowNM / r.pitch
@@ -470,7 +487,7 @@ func (r *runner) runTile(sim *litho.Simulator, ti, pass int, chipPsi *grid.Field
 		})
 	}
 	start := time.Now()
-	res, err := core.RunMultiResolution(sim, target, topts)
+	res, err := core.RunMultiResolution(ctx, sim, target, topts)
 	if err != nil {
 		return err
 	}

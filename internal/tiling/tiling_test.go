@@ -1,8 +1,11 @@
 package tiling
 
 import (
+	"context"
+
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"lsopc/internal/core"
@@ -12,6 +15,7 @@ import (
 	"lsopc/internal/litho"
 	"lsopc/internal/obs"
 	"lsopc/internal/rt"
+	"lsopc/internal/solve"
 )
 
 func TestDecomposeGeometry(t *testing.T) {
@@ -127,7 +131,7 @@ func TestTiledOptimizeEndToEnd(t *testing.T) {
 	opts.Sink = sink
 	opts.TraceID = "job1"
 	opts.Workers = 2
-	result, err := Optimize(res, cfg, eng, chip, opts)
+	result, err := Optimize(context.Background(), res, cfg, eng, chip, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +217,7 @@ func TestTiledEmptyTileSkipped(t *testing.T) {
 	}
 	opts := tileOpts(2)
 	opts.StitchPasses = -1 // no stitching
-	result, err := Optimize(res, cfg, eng, chip, opts)
+	result, err := Optimize(context.Background(), res, cfg, eng, chip, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +263,7 @@ func TestTiledNaNPoisonedTileAborts(t *testing.T) {
 	opts := tileOpts(3)
 	opts.Health = &hp
 	opts.TraceID = "poison"
-	_, err := Optimize(res, cfg, eng, chip, opts)
+	_, err := Optimize(context.Background(), res, cfg, eng, chip, opts)
 	if err == nil {
 		t.Fatal("poisoned run succeeded")
 	}
@@ -272,6 +276,80 @@ func TestTiledNaNPoisonedTileAborts(t *testing.T) {
 	}
 	if tae.Reason != obs.HealthNonFiniteCost {
 		t.Fatalf("abort reason %q, want %q", tae.Reason, obs.HealthNonFiniteCost)
+	}
+}
+
+// cancelOnIterationSink cancels the run's context on the first
+// optimizer iteration event — the deterministic trigger for the
+// concurrent-cancellation test. Emit runs on multiple worker
+// goroutines; CancelFunc is safe for concurrent use.
+type cancelOnIterationSink struct {
+	cancel context.CancelFunc
+	iters  atomic.Int64
+}
+
+func (s *cancelOnIterationSink) Emit(e obs.Event) {
+	if e.Type == obs.EventIteration {
+		s.iters.Add(1)
+		s.cancel()
+	}
+}
+
+// TestTiledCancelStopsWorkersPromptly cancels a concurrent tiled run
+// mid-flight (run under -race in `make race`): the error must unwrap to
+// context.Canceled, in-flight tiles must stop at the next iteration
+// boundary instead of burning their budget, and the shared bank must
+// come out clean enough to serve a fresh run.
+func TestTiledCancelStopsWorkersPromptly(t *testing.T) {
+	eng := engine.New("tiling-cancel", 2)
+	res, cfg := testBank(t, eng)
+	chip := testChip()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelOnIterationSink{cancel: cancel}
+
+	co := core.DefaultOptions()
+	co.MaxIter = 2000 // would run for minutes uncancelled…
+	co.Tolerance = 0  // …because the velocity stop is disabled
+	opts := Options{
+		HaloNM:       256,
+		Core:         co,
+		StitchPasses: 2,
+		Workers:      2,
+		Sink:         sink,
+		TraceID:      "cancel-me",
+	}
+	result, err := Optimize(ctx, res, cfg, eng, chip, opts)
+	if err == nil {
+		t.Fatal("cancelled tiled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	var cerr *solve.Cancelled
+	if !errors.As(err, &cerr) {
+		t.Fatalf("error %T %v, want the tile's *solve.Cancelled", err, err)
+	}
+	if result != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	// Promptness: the cancellation fired on the very first iteration
+	// event, so the two in-flight tiles stop at their next boundary and
+	// the queued tile never starts — nowhere near the 3×2000 budget.
+	if n := sink.iters.Load(); n > 100 {
+		t.Fatalf("%d iteration events after cancellation, want a prompt stop", n)
+	}
+
+	// The bank and engine must come out clean: a fresh run on the same
+	// resources succeeds (workers drained, no leaked or poisoned
+	// sessions).
+	res2, err := Optimize(context.Background(), res, cfg, eng, chip, tileOpts(2))
+	if err != nil {
+		t.Fatalf("follow-up run on the same bank failed: %v", err)
+	}
+	if res2.Mask == nil {
+		t.Fatal("follow-up run returned no mask")
 	}
 }
 

@@ -14,6 +14,7 @@
 package lsopc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,6 +33,7 @@ import (
 	"lsopc/internal/pixelilt"
 	"lsopc/internal/procwin"
 	"lsopc/internal/rt"
+	"lsopc/internal/solve"
 	"lsopc/internal/tiling"
 )
 
@@ -79,6 +81,14 @@ type (
 	// TileAbortError reports the tile whose watchdog abort failed a
 	// tiled run (errors.As-compatible).
 	TileAbortError = tiling.TileAbortError
+	// Checkpoint is the resumable state of a cancelled optimization
+	// (level-set or baseline): the evolving field, iteration position,
+	// step scale and watchdog windows. See internal/solve.
+	Checkpoint = solve.Checkpoint
+	// CancelledError is the error a cancelled optimization returns; it
+	// carries the Checkpoint and unwraps to the context's error
+	// (errors.Is(err, context.Canceled) works, errors.As recovers it).
+	CancelledError = solve.Cancelled
 )
 
 // Forward-model precisions, re-exported.
@@ -108,7 +118,23 @@ const (
 	EventTileDone = obs.EventTileDone
 	// EventStitchPass summarizes one halo-stitching consistency pass.
 	EventStitchPass = obs.EventStitchPass
+	// EventCancelled marks a run observing its context cancellation.
+	EventCancelled = obs.EventCancelled
+	// EventCheckpoint marks a resumable checkpoint being captured.
+	EventCheckpoint = obs.EventCheckpoint
 )
+
+// WriteCheckpoint serialises a checkpoint to w (gob encoding).
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error { return solve.WriteCheckpoint(w, cp) }
+
+// ReadCheckpoint deserialises a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) { return solve.ReadCheckpoint(r) }
+
+// SaveCheckpoint writes a checkpoint file (atomic rename).
+func SaveCheckpoint(path string, cp *Checkpoint) error { return solve.SaveCheckpoint(path, cp) }
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return solve.LoadCheckpoint(path) }
 
 // DefaultHealthPolicy returns the standard watchdog configuration: all
 // checks on, abort on the first unhealthy iteration.
@@ -628,12 +654,31 @@ type RunResult struct {
 // evaluates the resulting mask. Safe to call concurrently (each call
 // leases its own session).
 func (p *Pipeline) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult, error) {
+	return p.OptimizeLevelSetContext(context.Background(), l, opts)
+}
+
+// OptimizeLevelSetContext is OptimizeLevelSet under a context: cancel
+// it and the run stops at the next iteration boundary, returning a
+// *CancelledError whose Checkpoint ResumeLevelSet continues from.
+func (p *Pipeline) OptimizeLevelSetContext(ctx context.Context, l *Layout, opts LevelSetOptions) (*RunResult, error) {
 	s, err := p.Session()
 	if err != nil {
 		return nil, err
 	}
 	defer s.Close()
-	return s.OptimizeLevelSet(l, opts)
+	return s.OptimizeLevelSetContext(ctx, l, opts)
+}
+
+// ResumeLevelSet continues a cancelled level-set run from its
+// checkpoint. opts must be the options of the original run; the result
+// then matches the uninterrupted run bit-for-bit.
+func (p *Pipeline) ResumeLevelSet(ctx context.Context, l *Layout, opts LevelSetOptions, cp *Checkpoint) (*RunResult, error) {
+	s, err := p.Session()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.optimizeLevelSet(ctx, l, opts, cp)
 }
 
 // OptimizeLevelSet runs the paper's optimizer on this session. When the
@@ -643,6 +688,18 @@ func (p *Pipeline) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult
 // (core.RunMultiResolution) on truncated kernel banks sharing this
 // pipeline's resources.
 func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult, error) {
+	return s.OptimizeLevelSetContext(context.Background(), l, opts)
+}
+
+// OptimizeLevelSetContext is OptimizeLevelSet under a context (see the
+// Pipeline method of the same name).
+func (s *Session) OptimizeLevelSetContext(ctx context.Context, l *Layout, opts LevelSetOptions) (*RunResult, error) {
+	return s.optimizeLevelSet(ctx, l, opts, nil)
+}
+
+// optimizeLevelSet runs or resumes the level-set optimizer on this
+// session.
+func (s *Session) optimizeLevelSet(ctx context.Context, l *Layout, opts LevelSetOptions, cp *Checkpoint) (*RunResult, error) {
 	target, err := s.p.targetShared(l)
 	if err != nil {
 		return nil, err
@@ -655,7 +712,12 @@ func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult,
 		opts.Health = s.p.health
 	}
 	start := time.Now()
-	res, err := core.RunMultiResolution(s.sim, target, opts)
+	var res *LevelSetResult
+	if cp != nil {
+		res, err = core.Resume(ctx, s.sim, target, opts, cp)
+	} else {
+		res, err = core.RunMultiResolution(ctx, s.sim, target, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -686,6 +748,15 @@ func (s *Session) OptimizeLevelSet(l *Layout, opts LevelSetOptions) (*RunResult,
 // "<job>.t<n>") and health policy; a watchdog-aborted tile fails the
 // whole run with a *TileAbortError. Safe to call concurrently.
 func (p *Pipeline) OptimizeTiled(l *Layout, opts TileOptions) (*TiledResult, error) {
+	return p.OptimizeTiledContext(context.Background(), l, opts)
+}
+
+// OptimizeTiledContext is OptimizeTiled under a context: cancel it and
+// in-flight tiles stop at their next iteration boundary, queued tiles
+// and pending stitch passes are skipped, and the error unwraps to the
+// context's error. Tiled runs are not checkpointable — a re-run repeats
+// the interrupted pass.
+func (p *Pipeline) OptimizeTiledContext(ctx context.Context, l *Layout, opts TileOptions) (*TiledResult, error) {
 	if opts.Sink == nil && p.sink != nil {
 		opts.Sink = p.sink
 		opts.TraceID = fmt.Sprintf("s%d", p.traceSeq.Add(1))
@@ -694,7 +765,7 @@ func (p *Pipeline) OptimizeTiled(l *Layout, opts TileOptions) (*TiledResult, err
 		opts.Health = p.health
 	}
 	start := time.Now()
-	res, err := tiling.Optimize(p.res, p.cfg, p.eng, l, opts)
+	res, err := tiling.Optimize(ctx, p.res, p.cfg, p.eng, l, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -715,18 +786,48 @@ func (p *Pipeline) DefaultTileHaloNM() int { return tiling.DefaultHaloNM(p.res, 
 // OptimizeBaseline runs one of the pixel-based comparison methods.
 // Safe to call concurrently (each call leases its own session).
 func (p *Pipeline) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult, error) {
+	return p.OptimizeBaselineContext(context.Background(), l, opts)
+}
+
+// OptimizeBaselineContext is OptimizeBaseline under a context: cancel
+// it and the run stops at the next iteration boundary, returning a
+// *CancelledError whose Checkpoint ResumeBaseline continues from.
+func (p *Pipeline) OptimizeBaselineContext(ctx context.Context, l *Layout, opts pixelilt.Options) (*RunResult, error) {
 	s, err := p.Session()
 	if err != nil {
 		return nil, err
 	}
 	defer s.Close()
-	return s.OptimizeBaseline(l, opts)
+	return s.OptimizeBaselineContext(ctx, l, opts)
+}
+
+// ResumeBaseline continues a cancelled baseline run from its
+// checkpoint. opts must be the options of the original run; the result
+// then matches the uninterrupted run bit-for-bit.
+func (p *Pipeline) ResumeBaseline(ctx context.Context, l *Layout, opts pixelilt.Options, cp *Checkpoint) (*RunResult, error) {
+	s, err := p.Session()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.optimizeBaseline(ctx, l, opts, cp)
 }
 
 // OptimizeBaseline runs a pixel-based comparison method on this session.
 // When the pipeline carries a trace sink and opts.Sink is nil, the run
 // inherits the pipeline's sink under this session's trace id.
 func (s *Session) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult, error) {
+	return s.OptimizeBaselineContext(context.Background(), l, opts)
+}
+
+// OptimizeBaselineContext is OptimizeBaseline under a context (see the
+// Pipeline method of the same name).
+func (s *Session) OptimizeBaselineContext(ctx context.Context, l *Layout, opts pixelilt.Options) (*RunResult, error) {
+	return s.optimizeBaseline(ctx, l, opts, nil)
+}
+
+// optimizeBaseline runs or resumes a pixel baseline on this session.
+func (s *Session) optimizeBaseline(ctx context.Context, l *Layout, opts pixelilt.Options, cp *Checkpoint) (*RunResult, error) {
 	target, err := s.p.targetShared(l)
 	if err != nil {
 		return nil, err
@@ -739,7 +840,12 @@ func (s *Session) OptimizeBaseline(l *Layout, opts pixelilt.Options) (*RunResult
 		opts.Health = s.p.health
 	}
 	start := time.Now()
-	res, err := pixelilt.Optimize(s.sim, target, opts)
+	var res *pixelilt.Result
+	if cp != nil {
+		res, err = pixelilt.Resume(ctx, s.sim, target, opts, cp)
+	} else {
+		res, err = pixelilt.Optimize(ctx, s.sim, target, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

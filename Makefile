@@ -8,8 +8,12 @@
 #               then regenerate BENCH_multires.json (full-res float64
 #               vs coarse-to-fine float32) and BENCH_tiled.json
 #               (monolithic vs tiled full-chip), both gated by benchdiff
-#   make trace   - instrumented runs (single-window and tiled) + JSONL
+#   make trace   - instrumented runs (single-window and tiled, the tiled
+#               one with the -serve live endpoint attached) + JSONL
 #               trace validation (tracecheck) + analytics (tracestats)
+#               + Chrome/Perfetto timeline export + the live-telemetry
+#               end-to-end smoke (SSE + /runs during a tiled run) and
+#               the chrome-export golden test
 #   make benchjson - regenerate the "after" entry of BENCH_batchfft.json
 #   make benchgate - benchdiff smoke gate: identical inputs pass, a
 #               synthetically inflated copy must fail
@@ -36,17 +40,28 @@ test:
 race:
 	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/pixelilt ./internal/rt ./internal/obs ./internal/solve ./internal/tiling .
 
-# One instrumented benchmark run; fails if the emitted JSONL trace is
-# malformed or missing any event family of the taxonomy (DESIGN.md §9),
-# then prints the tracestats analytics report over the same trace.
+# Instrumented benchmark runs; fails if an emitted JSONL trace is
+# malformed, missing any event family of the taxonomy (DESIGN.md §9),
+# carries an unknown event kind (-strict) or violates the per-run
+# invariants (run ids everywhere, per-run monotonic iterations), then
+# prints the tracestats analytics report over the same trace. The tiled
+# leg runs with -serve attached (flag smoke: server up for the whole
+# run, graceful shutdown after) and its trace is exported to a
+# Chrome/Perfetto timeline. The final leg is the live-telemetry e2e
+# smoke — a tiled run observed over real HTTP must show per-tile
+# progress on /runs and stream SSE events while in flight — plus the
+# chrome-export golden-fixture test.
 trace:
 	$(GO) run ./cmd/lsopc -preset test -case B1 -iters 3 -health -tracefile /tmp/lsopc-trace.jsonl
-	$(GO) run ./cmd/tracecheck -require iteration,corner,plan_cache,pool,span /tmp/lsopc-trace.jsonl
+	$(GO) run ./cmd/tracecheck -strict -require iteration,corner,plan_cache,pool,span /tmp/lsopc-trace.jsonl
 	$(GO) run ./cmd/tracestats /tmp/lsopc-trace.jsonl
 	$(GO) run ./cmd/benchgen -dir /tmp/lsopc-bench -chip 2x2 -cells B1,B4
-	$(GO) run ./cmd/lsopc -preset test -glp /tmp/lsopc-bench/chip_2x2.glp -tiled -halo 256 -iters 3 -health -tracefile /tmp/lsopc-trace-tiled.jsonl
-	$(GO) run ./cmd/tracecheck -require tile_start,tile_done,iteration,span /tmp/lsopc-trace-tiled.jsonl
+	$(GO) run ./cmd/lsopc -preset test -glp /tmp/lsopc-bench/chip_2x2.glp -tiled -halo 256 -iters 3 -health -serve 127.0.0.1:0 -tracefile /tmp/lsopc-trace-tiled.jsonl
+	$(GO) run ./cmd/tracecheck -strict -require tile_start,tile_done,iteration,span /tmp/lsopc-trace-tiled.jsonl
 	$(GO) run ./cmd/tracestats /tmp/lsopc-trace-tiled.jsonl
+	$(GO) run ./cmd/tracestats -chrome /tmp/lsopc-trace-tiled.chrome.json /tmp/lsopc-trace-tiled.jsonl
+	$(GO) test -count=1 -run 'TestLiveServerStreamsTiledRun' .
+	$(GO) test -count=1 -run 'TestWriteChromeTrace' ./internal/obs/analyze
 
 # Perf-regression smoke gate: two quick benchmark passes into one
 # artefact, benchdiff must pass the file against itself and must FAIL

@@ -8,6 +8,7 @@
 //	lsopc -case B1 -iters 30 -pvb-weight 0.8 -out mask.pgm -ascii
 //	lsopc -case B4 -tracefile run.jsonl          # structured event trace
 //	lsopc -case B4 -metrics 127.0.0.1:6060       # live /metrics + pprof
+//	lsopc -case B4 -serve 127.0.0.1:6060         # live /runs + SSE event stream
 //	lsopc -glp chip.glp -tiled -tile-workers 4   # full-chip tiled run
 //	lsopc -glp chip.glp -tiled -halo 320 -stitch-passes 3 -out chip.pgm
 //	lsopc -case B4 -checkpoint run.ckpt          # Ctrl-C writes a resumable checkpoint
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"lsopc"
 	"lsopc/internal/render"
@@ -46,6 +48,7 @@ type cliConfig struct {
 	trace       bool
 	tracePath   string
 	metricsAddr string
+	serveAddr   string
 	health      bool
 	multires    int
 	precision   string
@@ -74,6 +77,7 @@ func main() {
 	flag.BoolVar(&cfg.trace, "trace", false, "print the per-iteration cost trace (level-set only)")
 	flag.StringVar(&cfg.tracePath, "tracefile", "", "write a structured JSONL event trace (iterations, corner timings, plan-cache and pool events) to this file")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. 127.0.0.1:6060)")
+	flag.StringVar(&cfg.serveAddr, "serve", "", "serve live run status on this address for the duration of the run: /runs, /runs/{id}, /runs/{id}/events (SSE), /healthz, plus the -metrics endpoints (e.g. :6060)")
 	flag.BoolVar(&cfg.health, "health", false, "run the numerical-health watchdog (NaN/Inf, stall, divergence detection; aborts the run on an unhealthy iteration)")
 	flag.IntVar(&cfg.multires, "multires", 1, "coarse-to-fine start factor (power of two): begin on a grid downsampled by this factor, halving each level; 1 = single resolution")
 	flag.StringVar(&cfg.precision, "precision", "float64", "forward-model precision: float64 (bit-exact reference) | float32 (fast path)")
@@ -162,37 +166,68 @@ func run(cfg cliConfig) error {
 	if cfg.serial {
 		eng = lsopc.CPUEngine()
 	}
+	// shutdown gracefully stops an observability server on every exit
+	// path — normal completion, errors, and the SIGINT cancel path all
+	// reach the deferred call; active SSE streams are closed and any
+	// late serve error is surfaced.
+	shutdown := func(name string, s interface {
+		Shutdown(context.Context) error
+	}) {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "lsopc: %s shutdown: %v\n", name, err)
+		}
+	}
 	if cfg.metricsAddr != "" {
-		srv, addr, err := lsopc.ServeMetrics(cfg.metricsAddr)
+		srv, err := lsopc.ServeMetrics(cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+		defer shutdown("metrics endpoint", srv)
+		fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
-	var popts []lsopc.PipelineOption
+	// Trace sinks: the JSONL file (-tracefile) and the live telemetry
+	// feed (-serve) compose through one tee installed both as the
+	// runtime sink and as the pipeline sink.
+	var sinks []lsopc.TraceSink
+	if cfg.serveAddr != "" {
+		live, err := lsopc.ServeLive(cfg.serveAddr)
+		if err != nil {
+			return fmt.Errorf("live endpoint: %w", err)
+		}
+		defer shutdown("live endpoint", live)
+		fmt.Fprintf(os.Stderr, "live status on http://%s/runs (SSE at /runs/{id}/events, metrics at /metrics)\n", live.Addr())
+		sinks = append(sinks, live.Sink())
+	}
 	if cfg.tracePath != "" {
 		f, err := os.Create(cfg.tracePath)
 		if err != nil {
 			return err
 		}
 		sink := lsopc.NewJSONLTraceSink(f)
-		// Install as the runtime sink before the pipeline is built so
-		// plan-cache and pool events from bank/session construction land
-		// in the same stream as the optimizer's iteration events. The
-		// deferred flush runs on every exit path — a cancelled run's
+		sinks = append(sinks, sink)
+		// The deferred flush runs on every exit path — a cancelled run's
 		// trace (including its cancelled/checkpoint events) still lands
-		// on disk.
-		lsopc.SetRuntimeTrace(sink)
-		popts = append(popts, lsopc.WithTraceSink(sink))
+		// on disk. It runs after the tee's SetRuntimeTrace(nil) below
+		// (LIFO), so no events race the flush+close.
 		defer func() {
-			lsopc.SetRuntimeTrace(nil)
 			if err := lsopc.FlushTrace(sink); err != nil {
 				fmt.Fprintln(os.Stderr, "lsopc: trace flush:", err)
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "event trace written to %s\n", cfg.tracePath)
 		}()
+	}
+	var popts []lsopc.PipelineOption
+	if len(sinks) > 0 {
+		// Install as the runtime sink before the pipeline is built so
+		// plan-cache and pool events from bank/session construction land
+		// in the same stream as the optimizer's iteration events.
+		tee := lsopc.TeeTraceSink(sinks...)
+		lsopc.SetRuntimeTrace(tee)
+		defer lsopc.SetRuntimeTrace(nil)
+		popts = append(popts, lsopc.WithTraceSink(tee))
 	}
 	if cfg.health {
 		popts = append(popts, lsopc.WithHealthPolicy(lsopc.DefaultHealthPolicy()))

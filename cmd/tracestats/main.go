@@ -14,6 +14,7 @@
 //	tracestats run1.jsonl run2.jsonl           # independent reports
 //	tracestats -diff before.jsonl after.jsonl  # run-vs-run comparison
 //	tracestats -json run.jsonl                 # machine-readable
+//	tracestats -chrome timeline.json run.jsonl # Perfetto-loadable timeline
 //	lsopc -case B1 -tracefile /dev/stdout ... | tracestats -
 //
 // Exit status: 0 on success, 1 on a parse failure (empty trace, invalid
@@ -37,12 +38,22 @@ func main() {
 		diff     = flag.Bool("diff", false, "compare exactly two traces (A then B)")
 		topN     = flag.Int("top", 0, "show only the top N phases by total time (0 = all)")
 		stallWin = flag.Int("stall-window", 0, "stall-detection trailing window (0 = default)")
+		chrome   = flag.String("chrome", "", "write a Chrome Trace Event timeline (Perfetto / chrome://tracing) of the trace to this file instead of reporting")
 	)
 	flag.Parse()
-	if flag.NArg() < 1 || (*diff && flag.NArg() != 2) {
+	if flag.NArg() < 1 || (*diff && flag.NArg() != 2) || (*chrome != "" && (flag.NArg() != 1 || *diff)) {
 		fmt.Fprintln(os.Stderr, "usage: tracestats [-json] [-top N] <trace.jsonl | -> ...")
 		fmt.Fprintln(os.Stderr, "       tracestats -diff [-json] before.jsonl after.jsonl")
+		fmt.Fprintln(os.Stderr, "       tracestats -chrome timeline.json <trace.jsonl | ->")
 		os.Exit(2)
+	}
+
+	if *chrome != "" {
+		if err := exportChrome(flag.Arg(0), *chrome); err != nil {
+			fmt.Fprintln(os.Stderr, "tracestats:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	runs := make([]*analyze.Run, flag.NArg())
@@ -78,6 +89,34 @@ func main() {
 		}
 		printRun(run, *topN)
 	}
+}
+
+// exportChrome converts one JSONL trace (path or "-" for stdin) into a
+// Chrome Trace Event timeline file.
+func exportChrome(inPath, outPath string) error {
+	in := os.Stdin
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	skipped, err := analyze.WriteChromeTrace(out, in)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("chrome export: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "chrome timeline written to %s (load at ui.perfetto.dev; %d non-timeline events skipped)\n",
+		outPath, skipped)
+	return nil
 }
 
 // parse reads one trace (path or "-" for stdin) with optional threshold

@@ -586,27 +586,13 @@ func summarize(iters []IterPoint, th Thresholds) Convergence {
 
 // logSlope is the least-squares slope of ln(cost) against the sample
 // index, using only finite positive costs. It approximates the average
-// relative cost change per iteration.
+// relative cost change per iteration. The math lives in obs.SlopeAccum
+// so the live RunRegistry computes the identical statistic
+// incrementally while a run is still in flight.
 func logSlope(iters []IterPoint) float64 {
-	var n float64
-	var sumX, sumY, sumXX, sumXY float64
-	for i, p := range iters {
-		if p.Cost <= 0 || math.IsNaN(p.Cost) || math.IsInf(p.Cost, 0) {
-			continue
-		}
-		x, y := float64(i), math.Log(p.Cost)
-		n++
-		sumX += x
-		sumY += y
-		sumXX += x * x
-		sumXY += x * y
+	var a obs.SlopeAccum
+	for _, p := range iters {
+		a.Observe(p.Cost)
 	}
-	if n < 2 {
-		return 0
-	}
-	den := n*sumXX - sumX*sumX
-	if den == 0 {
-		return 0
-	}
-	return (n*sumXY - sumX*sumY) / den
+	return a.Slope()
 }

@@ -1,0 +1,132 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteChromeTraceGolden pins the exporter output byte-for-byte
+// against a checked-in fixture: a two-session trace (one monolithic run
+// with a NaN-cost iteration, health, checkpoint and cancellation; one
+// tiled job with a tile sub-run) plus a runtime-scoped plan_cache line
+// that must be skipped. Regenerate with
+//
+//	go run ./cmd/tracestats -chrome internal/obs/analyze/testdata/chrome_fixture.golden.json \
+//	    internal/obs/analyze/testdata/chrome_fixture.jsonl
+//
+// after an intentional format change.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "chrome_fixture.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var out bytes.Buffer
+	skipped, err := WriteChromeTrace(&out, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (the plan_cache line)", skipped)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "chrome_fixture.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Fatalf("output differs from golden (regenerate if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			out.Bytes(), golden)
+	}
+}
+
+// TestWriteChromeTraceStructure checks the invariants Perfetto cares
+// about without pinning bytes: valid JSON, microsecond timestamps
+// rebased so the earliest timeline event sits at ts 0, metadata naming
+// every thread, and only finite numbers in args.
+func TestWriteChromeTraceStructure(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "chrome_fixture.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var out bytes.Buffer
+	if _, err := WriteChromeTrace(&out, in); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &trace); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	minTS := math.Inf(1)
+	threads := map[int]string{}
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "thread_name" {
+				threads[e.TID] = e.Args["name"].(string)
+			}
+			continue
+		}
+		if e.TS < minTS {
+			minTS = e.TS
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Fatalf("negative ts/dur on %q: ts=%v dur=%v", e.Name, e.TS, e.Dur)
+		}
+		if _, ok := threads[e.TID]; !ok {
+			t.Fatalf("event %q on unnamed tid %d", e.Name, e.TID)
+		}
+		for k, v := range e.Args {
+			if f, ok := v.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
+				t.Fatalf("non-finite arg %s=%v on %q survived encoding", k, v, e.Name)
+			}
+		}
+	}
+	// Timestamps are rebased to the trace's first event (here the
+	// skipped plan_cache line), so the earliest timeline slice sits a
+	// few µs after 0 — not at absolute wall-clock nanoseconds.
+	if minTS > 1000 {
+		t.Fatalf("earliest timeline event at ts %v µs — rebase to trace start missing", minTS)
+	}
+	for tid, name := range threads {
+		if name == "" {
+			t.Fatalf("tid %d has empty thread name", tid)
+		}
+	}
+	if want := "s2.t1"; !strings.Contains(out.String(), want) {
+		t.Fatalf("tile sub-run track %q missing from output", want)
+	}
+}
+
+// TestWriteChromeTraceErrors rejects malformed input rather than
+// emitting a broken timeline.
+func TestWriteChromeTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"invalid JSON": "{not json}\n",
+		"missing type": `{"seq":1,"iter":0}` + "\n",
+	}
+	for name, in := range cases {
+		var out bytes.Buffer
+		if _, err := WriteChromeTrace(&out, strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,22 +1,37 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"runtime"
+	"strings"
+	"time"
 )
 
 // Handler returns the observability endpoint for long-running commands:
 //
-//	/metrics        plain-text metrics dump (sorted `name value` lines)
-//	/debug/vars     expvar JSON (the registry publishes itself here)
-//	/debug/pprof/*  the standard pprof profiles
+//	/metrics             plain-text metrics dump (sorted `name value` lines)
+//	/debug/vars          expvar JSON (the registry publishes itself here)
+//	/debug/pprof/*       the standard pprof profiles
+//	/healthz             liveness JSON (status, uptime, goroutines)
+//	/runs                JSON snapshot of in-flight + recent runs
+//	/runs/{id}           one run's detail incl. its iteration series tail
+//	/runs/{id}/events    SSE live event stream (?types=a,b filters kinds)
 //
-// The handler uses its own mux, so mounting it does not disturb the
-// process default mux (importing net/http/pprof also registers on
-// http.DefaultServeMux; commands using Handler never serve that mux).
-func Handler(r *Registry) http.Handler {
+// runs and bus are optional: with a nil RunRegistry the /runs endpoints
+// answer 404, with a nil Bus the SSE endpoint answers 503. The handler
+// uses its own mux, so mounting it does not disturb the process default
+// mux (importing net/http/pprof also registers on http.DefaultServeMux;
+// commands using Handler never serve that mux).
+func Handler(r *Registry, runs *RunRegistry, bus *Bus) http.Handler {
+	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -28,20 +43,202 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":     "ok",
+			"uptime_s":   time.Since(start).Seconds(),
+			"goroutines": runtime.NumGoroutine(),
+		})
+	})
+
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, req *http.Request) {
+		if runs == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, map[string]any{"runs": runs.Runs()})
+	})
+	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		if runs == nil {
+			http.NotFound(w, req)
+			return
+		}
+		st, tail, ok := runs.Run(req.PathValue("id"))
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, map[string]any{"run": st, "iterations": tail})
+	})
+	mux.HandleFunc("GET /runs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
+		if bus == nil {
+			http.Error(w, "event streaming not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		serveSSE(w, req, bus)
+	})
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// serveSSE streams the bus to one client as Server-Sent Events,
+// restricted to the run id in the path (tile sub-runs of that id
+// included) and, with ?types=a,b, to those event kinds. Each event goes
+// out as `event: <type>` + `data: <event JSON>`; whenever this client's
+// ring dropped events since the last write, a `drops` event reports the
+// cumulative count. The stream ends when the client disconnects or the
+// subscription closes (server shutdown).
+func serveSSE(w http.ResponseWriter, req *http.Request, bus *Bus) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	id := req.PathValue("id")
+	var types []string
+	if q := req.URL.Query().Get("types"); q != "" {
+		types = strings.Split(q, ",")
+	}
+	sub := bus.Subscribe(1024, types...)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	// The hello event carries the subscription id so a reconnecting
+	// client can tell a fresh subscription (drops reset) from a resumed
+	// one, and the drop count at attach time (always 0 for a new ring).
+	fmt.Fprintf(w, "event: hello\ndata: {\"run\":%q,\"subscription\":%d,\"drops\":%d}\n\n",
+		id, sub.ID(), sub.Drops())
+	flusher.Flush()
+
+	var reported int64
+	for {
+		e, ok := sub.Next(req.Context())
+		if !ok {
+			return
+		}
+		if !runMatches(id, e.Trace) {
+			continue
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+		if d := sub.Drops(); d != reported {
+			reported = d
+			fmt.Fprintf(w, "event: drops\ndata: {\"drops\":%d}\n\n", d)
+		}
+		flusher.Flush()
+	}
+}
+
+// runMatches reports whether an event's trace id belongs to run id —
+// the run itself or one of its "<id>.t<n>" tile sub-runs.
+func runMatches(id, trace string) bool {
+	if trace == id {
+		return true
+	}
+	return strings.HasPrefix(trace, id) && len(trace) > len(id) && trace[len(id)] == '.'
+}
+
+// Server is a handle on a running observability endpoint. It owns the
+// listener and the serve goroutine; Shutdown drains in-flight requests
+// (closing active SSE streams) and surfaces any serve error that was
+// not the orderly ErrServerClosed.
+type Server struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+	err  error // serve error other than ErrServerClosed; set before done closes
+	// stopConns cancels the base context every request context derives
+	// from. SSE handlers block on that context, so plain
+	// http.Server.Shutdown would wait on them forever; cancelling first
+	// lets the streams end and Shutdown complete promptly.
+	stopConns context.CancelFunc
 }
 
 // Serve starts the observability endpoint on addr (e.g. ":6060" or
 // "127.0.0.1:0") in a background goroutine, publishing the registry to
-// expvar under "lsopc". It returns the server (Close to stop) and the
-// bound address, which matters when addr requested port 0.
-func Serve(addr string, r *Registry) (*http.Server, string, error) {
+// expvar under "lsopc". runs and bus are optional (see Handler). A
+// serve failure after startup is logged to stderr and retrievable via
+// Err/Shutdown.
+func Serve(addr string, r *Registry, runs *RunRegistry, bus *Bus) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	r.PublishExpvar("lsopc")
-	srv := &http.Server{Handler: Handler(r)}
-	go srv.Serve(ln)
-	return srv, ln.Addr().String(), nil
+	connCtx, stopConns := context.WithCancel(context.Background())
+	s := &Server{
+		srv: &http.Server{
+			Handler:     Handler(r, runs, bus),
+			BaseContext: func(net.Listener) context.Context { return connCtx },
+		},
+		addr:      ln.Addr().String(),
+		done:      make(chan struct{}),
+		stopConns: stopConns,
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+			fmt.Fprintf(os.Stderr, "obs: serve %s: %v\n", s.addr, err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address, which matters when Serve was asked
+// for port 0.
+func (s *Server) Addr() string { return s.addr }
+
+// Err returns the serve error, if any, once the serve loop has exited
+// (nil while still serving or after an orderly shutdown).
+func (s *Server) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests get until ctx expires, active SSE streams are closed. It
+// waits for the serve goroutine to exit and returns the first of the
+// shutdown error or a non-orderly serve error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopConns()
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return s.err
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *Server) Close() error {
+	s.stopConns()
+	err := s.srv.Close()
+	<-s.done
+	if err != nil {
+		return err
+	}
+	return s.err
 }

@@ -171,6 +171,19 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Remove deletes the named metric (counter, gauge or histogram) from
+// the registry so future snapshots omit it. Holders of the metric
+// pointer may keep updating it; the updates simply stop being exported.
+// Used for transient per-subscriber metrics that would otherwise grow
+// the registry without bound.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.hists, name)
+}
+
 // Snapshot flattens every metric to name → value. Histograms expand to
 // `<name>.count`, `<name>.sum` and one `<name>.le<bound>` cumulative
 // count per bucket (plus `<name>.leInf`). The result is a stable,
@@ -221,8 +234,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 // PublishExpvar exposes the registry's live snapshot under the given
-// expvar name (visible at /debug/vars). Idempotent per registry; note
-// expvar panics if two different registries claim one name.
+// expvar name (visible at /debug/vars). Idempotent per registry, and a
+// no-op when the name is already taken (expvar names are process-global
+// and cannot be re-published — the first registry keeps it; this
+// matters for test binaries that build several servers).
 func (r *Registry) PublishExpvar(name string) {
 	r.mu.Lock()
 	already := r.published
@@ -231,5 +246,13 @@ func (r *Registry) PublishExpvar(name string) {
 	if already {
 		return
 	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
+
+// expvarMu serializes the process-global check-then-publish above.
+var expvarMu sync.Mutex

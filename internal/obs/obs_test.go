@@ -260,11 +260,12 @@ func TestFlushHelper(t *testing.T) {
 func TestHTTPHandlerServesMetricsAndPprof(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("requests").Add(3)
-	srv, addr, err := Serve("127.0.0.1:0", r)
+	srv, err := Serve("127.0.0.1:0", r, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	addr := srv.Addr()
 
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)

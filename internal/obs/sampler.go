@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeSampler periodically samples Go runtime health into reg
+// (nil means the Default registry) under the runtime.* gauges:
+//
+//	runtime.goroutines       live goroutine count
+//	runtime.heap_alloc       bytes of live heap objects
+//	runtime.heap_sys         bytes of heap obtained from the OS
+//	runtime.heap_objects     live object count
+//	runtime.gc_num           completed GC cycles
+//	runtime.gc_pause_total_ns cumulative stop-the-world pause
+//
+// Together with the always-on pool/plan-cache gauges this gives the
+// /metrics and /runs consumers a process-health feed during long runs.
+// It samples once immediately, then every interval (≤ 0 selects 5s).
+// The returned stop function halts the sampler and is idempotent.
+func StartRuntimeSampler(reg *Registry, every time.Duration) (stop func()) {
+	if reg == nil {
+		reg = Default
+	}
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	goroutines := reg.Gauge("runtime.goroutines")
+	heapAlloc := reg.Gauge("runtime.heap_alloc")
+	heapSys := reg.Gauge("runtime.heap_sys")
+	heapObjects := reg.Gauge("runtime.heap_objects")
+	gcNum := reg.Gauge("runtime.gc_num")
+	gcPause := reg.Gauge("runtime.gc_pause_total_ns")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		heapObjects.Set(int64(ms.HeapObjects))
+		gcNum.Set(int64(ms.NumGC))
+		gcPause.Set(int64(ms.PauseTotalNs))
+	}
+	sample()
+
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,92 @@
+package lsopc
+
+import (
+	"context"
+	"time"
+
+	"lsopc/internal/obs"
+)
+
+// Live-telemetry types, re-exported so downstream code only imports
+// this package. See DESIGN.md §13.
+type (
+	// ObsServer is a running observability HTTP endpoint with graceful
+	// Shutdown (returned by ServeMetrics and owned by LiveServer).
+	ObsServer = obs.Server
+	// TraceBus fans trace events out to dynamic subscribers over
+	// bounded ring buffers without ever blocking the optimizer.
+	TraceBus = obs.Bus
+	// TraceSubscription is one consumer's bounded view of a TraceBus.
+	TraceSubscription = obs.Subscription
+	// RunRegistry folds trace events into live per-run state.
+	RunRegistry = obs.RunRegistry
+	// RunState is a point-in-time snapshot of one run.
+	RunState = obs.RunState
+	// RunIterPoint is one point of a run's recent iteration series.
+	RunIterPoint = obs.RunIterPoint
+)
+
+// LiveServer bundles the live-telemetry stack: an event bus and run
+// registry fed by trace sinks, served over HTTP (/runs, /runs/{id},
+// /runs/{id}/events SSE, /healthz, plus the /metrics·expvar·pprof
+// endpoints), with a periodic runtime sampler feeding process-health
+// gauges. Build one with ServeLive, attach Sink() to pipelines (and
+// SetRuntimeTrace), and Shutdown when done.
+type LiveServer struct {
+	bus         *obs.Bus
+	runs        *obs.RunRegistry
+	srv         *obs.Server
+	stopSampler func()
+}
+
+// ServeLive starts the live observability endpoint on addr (":6060",
+// "127.0.0.1:0", …) over the default metrics registry. The returned
+// server's Sink() must be attached to the pipelines it should observe:
+//
+//	live, _ := lsopc.ServeLive(":6060")
+//	defer live.Shutdown(context.Background())
+//	lsopc.SetRuntimeTrace(live.Sink())
+//	pipe.WithTraceSink(lsopc.TeeTraceSink(jsonlSink, live.Sink()))
+//
+// With zero attached SSE clients the bus adds no allocations to the
+// emit path; slow clients drop oldest events rather than slowing the
+// run (see DESIGN.md §13).
+func ServeLive(addr string) (*LiveServer, error) {
+	bus := obs.NewBus(nil)
+	runs := obs.NewRunRegistry(nil)
+	srv, err := obs.Serve(addr, obs.Default, runs, bus)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveServer{
+		bus:         bus,
+		runs:        runs,
+		srv:         srv,
+		stopSampler: obs.StartRuntimeSampler(nil, 5*time.Second),
+	}, nil
+}
+
+// Sink returns the sink feeding this server's run registry and event
+// bus. Compose it with other sinks via TeeTraceSink. The registry is
+// first in the chain so a /runs poll triggered by an SSE event always
+// sees that event already folded in.
+func (l *LiveServer) Sink() TraceSink { return obs.TeeSink([]obs.Sink{l.runs, l.bus}) }
+
+// Addr returns the bound address (useful with ":0").
+func (l *LiveServer) Addr() string { return l.srv.Addr() }
+
+// Runs returns the live run registry.
+func (l *LiveServer) Runs() *RunRegistry { return l.runs }
+
+// Bus returns the live event bus (Subscribe for in-process consumers).
+func (l *LiveServer) Bus() *TraceBus { return l.bus }
+
+// Err surfaces a serve failure, if any (see ObsServer.Err).
+func (l *LiveServer) Err() error { return l.srv.Err() }
+
+// Shutdown stops the sampler and gracefully stops the HTTP server,
+// closing active SSE streams and propagating any serve error.
+func (l *LiveServer) Shutdown(ctx context.Context) error {
+	l.stopSampler()
+	return l.srv.Shutdown(ctx)
+}

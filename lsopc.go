@@ -17,7 +17,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -166,10 +165,12 @@ func Metrics() *MetricsRegistry { return obs.Default }
 func MetricsSnapshot() map[string]float64 { return obs.Default.Snapshot() }
 
 // ServeMetrics starts the observability HTTP endpoint on addr
-// (/metrics, /debug/vars, /debug/pprof/*) over the default registry and
-// returns the server and its bound address. See DESIGN.md §9.
-func ServeMetrics(addr string) (*http.Server, string, error) {
-	return obs.Serve(addr, obs.Default)
+// (/metrics, /debug/vars, /debug/pprof/*, /healthz) over the default
+// registry and returns a handle exposing the bound address and a
+// graceful Shutdown. For the live run endpoints (/runs, SSE) use
+// ServeLive instead. See DESIGN.md §9 and §13.
+func ServeMetrics(addr string) (*ObsServer, error) {
+	return obs.Serve(addr, obs.Default, nil, nil)
 }
 
 // SetRuntimeTrace installs a process-wide sink for events that have no

@@ -38,7 +38,7 @@ test:
 # the observability layer (shared sinks, atomic metrics), and the root
 # package's concurrent-pipeline equivalence and trace-integrity tests.
 race:
-	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/pixelilt ./internal/rt ./internal/obs ./internal/solve ./internal/tiling .
+	$(GO) test -race ./internal/engine ./internal/fft ./internal/litho ./internal/core ./internal/pixelilt ./internal/rt ./internal/obs ./internal/obs/recorder ./internal/solve ./internal/tiling .
 
 # Instrumented benchmark runs; fails if an emitted JSONL trace is
 # malformed, missing any event family of the taxonomy (DESIGN.md §9),
@@ -50,7 +50,11 @@ race:
 # Chrome/Perfetto timeline. The final leg is the live-telemetry e2e
 # smoke — a tiled run observed over real HTTP must show per-tile
 # progress on /runs and stream SSE events while in flight — plus the
-# chrome-export golden-fixture test.
+# chrome-export golden-fixture test. The closing leg is the flight-
+# recorder drill: a -poison-tile run must abort, leave a postmortem
+# bundle with a resumable checkpoint under -flight-dir, emit a strict-
+# valid capture event in its trace, and the bundle must be readable by
+# tracestats -bundle.
 trace:
 	$(GO) run ./cmd/lsopc -preset test -case B1 -iters 3 -health -tracefile /tmp/lsopc-trace.jsonl
 	$(GO) run ./cmd/tracecheck -strict -require iteration,corner,plan_cache,pool,span /tmp/lsopc-trace.jsonl
@@ -62,6 +66,19 @@ trace:
 	$(GO) run ./cmd/tracestats -chrome /tmp/lsopc-trace-tiled.chrome.json /tmp/lsopc-trace-tiled.jsonl
 	$(GO) test -count=1 -run 'TestLiveServerStreamsTiledRun' .
 	$(GO) test -count=1 -run 'TestWriteChromeTrace' ./internal/obs/analyze
+	rm -rf /tmp/lsopc-flight
+	@if $(GO) run ./cmd/lsopc -preset test -glp /tmp/lsopc-bench/chip_2x2.glp -tiled -halo 256 -iters 3 -health -poison-tile 1 -flight-dir /tmp/lsopc-flight -tracefile /tmp/lsopc-trace-poison.jsonl; then \
+		echo "trace: poisoned tiled run did NOT abort"; exit 1; \
+	else \
+		echo "trace: poisoned tile correctly aborted the run"; \
+	fi
+	@for f in manifest.json events.jsonl goroutines.txt heap.pb.gz checkpoint.ckpt metrics.txt; do \
+		if ! test -s /tmp/lsopc-flight/*/$$f; then \
+			echo "trace: bundle is missing $$f"; exit 1; \
+		fi; \
+	done; echo "trace: postmortem bundle is complete"
+	$(GO) run ./cmd/tracecheck -strict -require tile_start,iteration,health,capture /tmp/lsopc-trace-poison.jsonl
+	$(GO) run ./cmd/tracestats -bundle /tmp/lsopc-flight/*
 
 # Perf-regression smoke gate: two quick benchmark passes into one
 # artefact, benchdiff must pass the file against itself and must FAIL

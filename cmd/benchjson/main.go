@@ -45,6 +45,7 @@ func main() {
 	tiled := flag.Bool("tiled", false, "measure full-chip runtime, monolithic window vs tiled overlap-halo optimization (BENCH_tiled.json)")
 	tracePath := flag.String("tracefile", "", "write a structured JSONL event trace of the sessions sweep to this file")
 	metrics := flag.Bool("metrics", false, "store the full flat metrics snapshot with the run (sessions mode)")
+	recorder := flag.Bool("recorder", false, "tee a flight recorder into the sweep's trace path to measure its emit overhead (sessions mode)")
 	flag.Parse()
 	if *multires {
 		// Labels are fixed ("baseline"/"multires"): the artefact compares
@@ -71,7 +72,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_sessions.json"
 		}
-		sessionsMain(*out, *label, *note, *tracePath, *metrics)
+		sessionsMain(*out, *label, *note, *tracePath, *metrics, *recorder)
 		return
 	}
 	if *out == "" {

@@ -102,7 +102,7 @@ func optimizeJob(sim *litho.Simulator, target *grid.Field) error {
 	return err
 }
 
-func sessionsMain(out, label, note, tracePath string, withSnapshot bool) {
+func sessionsMain(out, label, note, tracePath string, withSnapshot, withRecorder bool) {
 	eng := lsopc.GPUEngine()
 	// Per-worker busy-time accounting: Split sub-engines inherit the
 	// accumulator with disjoint slots, so the sessions/k fan-out
@@ -119,14 +119,14 @@ func sessionsMain(out, label, note, tracePath string, withSnapshot bool) {
 	wb := obs.NewWorkerBusy(maxWorkers)
 	eng.InstrumentBusy(wb)
 	var popts []lsopc.PipelineOption
+	var sinks []lsopc.TraceSink
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
 			fatal(err)
 		}
 		sink := lsopc.NewJSONLTraceSink(f)
-		lsopc.SetRuntimeTrace(sink)
-		popts = append(popts, lsopc.WithTraceSink(sink))
+		sinks = append(sinks, sink)
 		defer func() {
 			lsopc.SetRuntimeTrace(nil)
 			if err := lsopc.FlushTrace(sink); err != nil {
@@ -135,6 +135,27 @@ func sessionsMain(out, label, note, tracePath string, withSnapshot bool) {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "event trace written to %s\n", tracePath)
 		}()
+	}
+	if withRecorder {
+		// The recorder-enabled leg: every event also lands in the flight
+		// recorder's per-run rings, so the throughput delta against the
+		// plain legs is the recorder's hot-path cost. Bundles (if any)
+		// go to a throwaway directory.
+		dir, err := os.MkdirTemp("", "lsopc-flight-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		rec := lsopc.NewFlightRecorder(lsopc.FlightRecorderConfig{Dir: dir})
+		defer rec.Close()
+		sinks = append(sinks, rec)
+		popts = append(popts, lsopc.WithFlightRecorder(rec))
+	}
+	if len(sinks) > 0 {
+		tee := lsopc.TeeTraceSink(sinks...)
+		lsopc.SetRuntimeTrace(tee)
+		defer lsopc.SetRuntimeTrace(nil)
+		popts = append(popts, lsopc.WithTraceSink(tee))
 	}
 	pipe, err := lsopc.NewPipeline(lsopc.PresetTest, eng, popts...)
 	if err != nil {

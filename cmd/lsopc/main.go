@@ -13,6 +13,8 @@
 //	lsopc -glp chip.glp -tiled -halo 320 -stitch-passes 3 -out chip.pgm
 //	lsopc -case B4 -checkpoint run.ckpt          # Ctrl-C writes a resumable checkpoint
 //	lsopc -case B4 -resume run.ckpt              # continue it bit-identically
+//	lsopc -case B4 -health -flight-dir flight    # postmortem bundle on a watchdog abort
+//	lsopc -glp chip.glp -tiled -health -poison-tile 1 -flight-dir flight  # forced abort drill
 //
 // Ctrl-C (SIGINT) cancels a run gracefully: the optimizer stops at the
 // next iteration boundary, trace sinks are flushed, with -checkpoint
@@ -60,6 +62,9 @@ type cliConfig struct {
 	tileWorkers  int
 	stitchPasses int
 	stitchIters  int
+
+	flightDir  string
+	poisonTile int
 }
 
 func main() {
@@ -89,6 +94,9 @@ func main() {
 	flag.IntVar(&cfg.tileWorkers, "tile-workers", 0, "concurrent tile sessions (0 = one per engine worker)")
 	flag.IntVar(&cfg.stitchPasses, "stitch-passes", 0, "max halo-stitching consistency passes (0 = default 2, negative = none)")
 	flag.IntVar(&cfg.stitchIters, "stitch-iters", 0, "per-tile iteration budget inside a stitch pass (0 = max(4, iters/4))")
+
+	flag.StringVar(&cfg.flightDir, "flight-dir", "", "enable the flight recorder: keep per-run event tails and write a postmortem bundle (event tail, goroutine/heap/CPU profiles, run snapshot, resumable checkpoint) under this directory when a run aborts or is cancelled")
+	flag.IntVar(&cfg.poisonTile, "poison-tile", 0, "fault injection for testing the abort path: NaN-poison the Nth tile's target (1-based) so the health watchdog aborts it (requires -tiled and -health)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -115,6 +123,11 @@ func validateFlags(cfg cliConfig) error {
 		return fmt.Errorf("-stitch-iters must be ≥ 0, got %d", cfg.stitchIters)
 	case cfg.multires < 0:
 		return fmt.Errorf("-multires must be ≥ 0, got %d", cfg.multires)
+	case cfg.poisonTile < 0:
+		return fmt.Errorf("-poison-tile must be ≥ 0, got %d", cfg.poisonTile)
+	}
+	if cfg.poisonTile != 0 && !cfg.health {
+		return fmt.Errorf("-poison-tile requires -health: only the watchdog turns the injected NaN into an abort")
 	}
 	if cfg.tiled {
 		switch {
@@ -137,6 +150,8 @@ func validateFlags(cfg cliConfig) error {
 			return fmt.Errorf("-stitch-passes requires -tiled")
 		case cfg.stitchIters != 0:
 			return fmt.Errorf("-stitch-iters requires -tiled")
+		case cfg.poisonTile != 0:
+			return fmt.Errorf("-poison-tile requires -tiled")
 		}
 	}
 	if cfg.checkpoint != "" && cfg.checkpoint == cfg.resume {
@@ -191,14 +206,20 @@ func run(cfg cliConfig) error {
 	// feed (-serve) compose through one tee installed both as the
 	// runtime sink and as the pipeline sink.
 	var sinks []lsopc.TraceSink
+	var flight *lsopc.FlightRecorder
 	if cfg.serveAddr != "" {
-		live, err := lsopc.ServeLive(cfg.serveAddr)
+		var lopts []lsopc.LiveOption
+		if cfg.flightDir != "" {
+			lopts = append(lopts, lsopc.WithFlightDir(cfg.flightDir))
+		}
+		live, err := lsopc.ServeLive(cfg.serveAddr, lopts...)
 		if err != nil {
 			return fmt.Errorf("live endpoint: %w", err)
 		}
 		defer shutdown("live endpoint", live)
 		fmt.Fprintf(os.Stderr, "live status on http://%s/runs (SSE at /runs/{id}/events, metrics at /metrics)\n", live.Addr())
 		sinks = append(sinks, live.Sink())
+		flight = live.Recorder() // Sink() above already feeds its rings
 	}
 	if cfg.tracePath != "" {
 		f, err := os.Create(cfg.tracePath)
@@ -219,7 +240,25 @@ func run(cfg cliConfig) error {
 			fmt.Fprintf(os.Stderr, "event trace written to %s\n", cfg.tracePath)
 		}()
 	}
+	if cfg.flightDir != "" && flight == nil {
+		// Standalone flight recorder (no -serve): its capture events go
+		// to whatever other sinks are attached, and the recorder itself
+		// joins the tee so its per-run rings see every event.
+		rec := lsopc.NewFlightRecorder(lsopc.FlightRecorderConfig{
+			Dir:  cfg.flightDir,
+			Sink: lsopc.TeeTraceSink(sinks...),
+		})
+		defer rec.Close()
+		sinks = append(sinks, rec)
+		flight = rec
+	}
+	if flight != nil {
+		fmt.Fprintf(os.Stderr, "flight recorder armed: postmortem bundles under %s\n", cfg.flightDir)
+	}
 	var popts []lsopc.PipelineOption
+	if flight != nil {
+		popts = append(popts, lsopc.WithFlightRecorder(flight))
+	}
 	if len(sinks) > 0 {
 		// Install as the runtime sink before the pipeline is built so
 		// plan-cache and pool events from bank/session construction land
@@ -391,8 +430,15 @@ func runTiled(ctx context.Context, pipe *lsopc.Pipeline, layout *lsopc.Layout, c
 		Core:         opts,
 		StitchPasses: cfg.stitchPasses,
 		StitchIters:  cfg.stitchIters,
+		PoisonTile:   cfg.poisonTile,
 	})
 	if err != nil {
+		var terr *lsopc.TileAbortError
+		if rec := pipe.FlightRecorder(); rec != nil && errors.As(err, &terr) {
+			if dir, ok := rec.Captured(terr.Trace); ok {
+				fmt.Fprintf(os.Stderr, "postmortem bundle written to %s (inspect with tracestats -bundle)\n", dir)
+			}
+		}
 		return err
 	}
 	g := result.Grid

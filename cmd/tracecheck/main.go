@@ -126,6 +126,7 @@ var knownTypes = map[string]bool{
 	obs.EventStitchPass:  true,
 	obs.EventCancelled:   true,
 	obs.EventCheckpoint:  true,
+	obs.EventCapture:     true,
 }
 
 // runtimeScoped are the process-level kinds legitimately emitted with
@@ -202,6 +203,16 @@ func check(in io.Reader) (counts, unknown map[string]int, err error) {
 		case obs.EventCheckpoint:
 			if e.N < 1 {
 				return nil, nil, fmt.Errorf("line %d: checkpoint event capturing %d state fields, want ≥ 1", line, e.N)
+			}
+		case obs.EventCapture:
+			if e.Msg == "" {
+				return nil, nil, fmt.Errorf("line %d: capture event without a trigger reason", line)
+			}
+			if e.Name == "" {
+				return nil, nil, fmt.Errorf("line %d: capture event without a bundle directory", line)
+			}
+			if e.N < 1 {
+				return nil, nil, fmt.Errorf("line %d: capture event listing %d bundle files, want ≥ 1", line, e.N)
 			}
 		}
 		counts[e.Type]++

@@ -15,6 +15,7 @@
 //	tracestats -diff before.jsonl after.jsonl  # run-vs-run comparison
 //	tracestats -json run.jsonl                 # machine-readable
 //	tracestats -chrome timeline.json run.jsonl # Perfetto-loadable timeline
+//	tracestats -bundle flight/s1-non_finite... # inspect a postmortem bundle
 //	lsopc -case B1 -tracefile /dev/stdout ... | tracestats -
 //
 // Exit status: 0 on success, 1 on a parse failure (empty trace, invalid
@@ -26,10 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
+	"lsopc/internal/obs"
 	"lsopc/internal/obs/analyze"
+	"lsopc/internal/obs/recorder"
 )
 
 func main() {
@@ -39,13 +43,28 @@ func main() {
 		topN     = flag.Int("top", 0, "show only the top N phases by total time (0 = all)")
 		stallWin = flag.Int("stall-window", 0, "stall-detection trailing window (0 = default)")
 		chrome   = flag.String("chrome", "", "write a Chrome Trace Event timeline (Perfetto / chrome://tracing) of the trace to this file instead of reporting")
+		bundle   = flag.Bool("bundle", false, "treat each argument as a flight-recorder postmortem bundle directory: validate its manifest and report its event tail")
 	)
 	flag.Parse()
-	if flag.NArg() < 1 || (*diff && flag.NArg() != 2) || (*chrome != "" && (flag.NArg() != 1 || *diff)) {
+	if flag.NArg() < 1 || (*diff && flag.NArg() != 2) || (*chrome != "" && (flag.NArg() != 1 || *diff)) || (*bundle && (*diff || *chrome != "")) {
 		fmt.Fprintln(os.Stderr, "usage: tracestats [-json] [-top N] <trace.jsonl | -> ...")
 		fmt.Fprintln(os.Stderr, "       tracestats -diff [-json] before.jsonl after.jsonl")
 		fmt.Fprintln(os.Stderr, "       tracestats -chrome timeline.json <trace.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "       tracestats -bundle <bundle-dir> ...")
 		os.Exit(2)
+	}
+
+	if *bundle {
+		for i, dir := range flag.Args() {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := inspectBundle(dir, *stallWin, *topN, *jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, "tracestats:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *chrome != "" {
@@ -89,6 +108,68 @@ func main() {
 		}
 		printRun(run, *topN)
 	}
+}
+
+// inspectBundle renders one flight-recorder postmortem bundle: the
+// validated manifest (trigger, captured files, notes), the latest
+// runtime snapshot, and the regular analytics report over the bundle's
+// event tail.
+func inspectBundle(dir string, stallWin, topN int, jsonOut bool) error {
+	man, err := recorder.Open(dir)
+	if err != nil {
+		return err
+	}
+	run, err := parse(filepath.Join(dir, recorder.EventsFile), stallWin)
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	run.Label = fmt.Sprintf("bundle %s", dir)
+	if jsonOut {
+		emitJSON(map[string]any{"manifest": man, "run": run})
+		return nil
+	}
+	fmt.Printf("=== bundle %s ===\n", dir)
+	fmt.Printf("run %s  trigger %s  captured %s\n",
+		man.RunID, man.Trigger, time.Unix(0, man.TimeNS).UTC().Format(time.RFC3339))
+	if man.Tile > 0 {
+		fmt.Printf("aborted tile %d (window %s nm)\n", man.Tile, man.Window)
+	}
+	if man.CheckpointIter > 0 {
+		fmt.Printf("resumable checkpoint at iteration %d (%s)\n",
+			man.CheckpointIter, recorder.CheckpointFile)
+	}
+	fmt.Printf("files: %v\n", man.Files)
+	for _, n := range man.Notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	if st, ok := lastRuntimeSnapshot(filepath.Join(dir, recorder.RuntimeFile)); ok {
+		fmt.Printf("runtime at capture: %d goroutines, heap %.1f MiB (%d objects), %d GCs\n",
+			st.Goroutines, float64(st.HeapAlloc)/(1<<20), st.HeapObjects, st.GCNum)
+	}
+	fmt.Println()
+	printRun(run, topN)
+	return nil
+}
+
+// lastRuntimeSnapshot returns the final sample of a bundle's
+// runtime.jsonl (the one taken at capture time).
+func lastRuntimeSnapshot(path string) (obs.RuntimeStats, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return obs.RuntimeStats{}, false
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var last obs.RuntimeStats
+	ok := false
+	for {
+		var st obs.RuntimeStats
+		if err := dec.Decode(&st); err != nil {
+			break
+		}
+		last, ok = st, true
+	}
+	return last, ok
 }
 
 // exportChrome converts one JSONL trace (path or "-" for stdin) into a

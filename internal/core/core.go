@@ -212,8 +212,12 @@ type Result struct {
 	// AbortReason carries the obs.Health* reason code.
 	Aborted     bool
 	AbortReason string
-	History     []IterStats
-	Snapshots   []Snapshot
+	// AbortCheckpoint is the solver state at the aborted iteration
+	// boundary (nil unless Aborted) — resumable via Resume, persisted by
+	// the flight recorder's postmortem bundles.
+	AbortCheckpoint *solve.Checkpoint
+	History         []IterStats
+	Snapshots       []Snapshot
 }
 
 // FinalCost returns the total cost at the last iteration.
@@ -705,12 +709,13 @@ func (s *levelStepper) RestoreState(st map[string]*grid.Field) error {
 // cloned out of the leased scratch so the result survives Release.
 func (o *Optimizer) finish(out *solve.Outcome) *Result {
 	res := &Result{
-		Iterations:  out.Iterations,
-		Converged:   out.Converged,
-		Aborted:     out.Aborted,
-		AbortReason: out.AbortReason,
-		History:     historyFromSolve(out.History),
-		Snapshots:   snapshotsFromSolve(out.Snapshots),
+		Iterations:      out.Iterations,
+		Converged:       out.Converged,
+		Aborted:         out.Aborted,
+		AbortReason:     out.AbortReason,
+		AbortCheckpoint: out.AbortCheckpoint,
+		History:         historyFromSolve(out.History),
+		Snapshots:       snapshotsFromSolve(out.Snapshots),
 	}
 	levelset.MaskFromPsi(o.mask, o.psi)
 	if o.opts.KeepBest && !math.IsInf(out.BestCost, 1) {

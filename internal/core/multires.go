@@ -121,12 +121,13 @@ func runSchedule(ctx context.Context, sim *litho.Simulator, target *grid.Field, 
 		return nil, err
 	}
 	total := &Result{
-		Iterations:  out.Iterations,
-		Converged:   out.Converged,
-		Aborted:     out.Aborted,
-		AbortReason: out.AbortReason,
-		History:     historyFromSolve(out.History),
-		Snapshots:   snapshotsFromSolve(out.Snapshots),
+		Iterations:      out.Iterations,
+		Converged:       out.Converged,
+		Aborted:         out.Aborted,
+		AbortReason:     out.AbortReason,
+		AbortCheckpoint: out.AbortCheckpoint,
+		History:         historyFromSolve(out.History),
+		Snapshots:       snapshotsFromSolve(out.Snapshots),
 	}
 	if prog.res != nil {
 		// The full-resolution level ran: its assembly (keep-best

@@ -80,6 +80,17 @@ func (b *Bus) Emit(e Event) {
 	}
 }
 
+// Unregister removes the bus's aggregate metrics (obs.bus.events,
+// obs.bus.dropped, obs.bus.subscribers) from its registry. Call it when
+// retiring a bus in a long-lived process — a live-server shutdown —
+// so repeated serve cycles don't accumulate stale entries. Attached
+// subscribers keep working; only the registry export stops.
+func (b *Bus) Unregister() {
+	b.reg.Remove("obs.bus.events")
+	b.reg.Remove("obs.bus.dropped")
+	b.reg.Remove("obs.bus.subscribers")
+}
+
 // Subscribers returns the number of currently attached subscriptions.
 func (b *Bus) Subscribers() int {
 	if subs := b.subs.Load(); subs != nil {

@@ -11,9 +11,18 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 )
+
+// Dumper captures a postmortem bundle for a run on demand, returning
+// the bundle directory. The flight recorder (internal/obs/recorder)
+// implements it; the HTTP layer depends only on this interface so obs
+// does not import the recorder package.
+type Dumper interface {
+	Capture(runID, reason string) (string, error)
+}
 
 // Handler returns the observability endpoint for long-running commands:
 //
@@ -22,15 +31,18 @@ import (
 //	/debug/pprof/*       the standard pprof profiles
 //	/healthz             liveness JSON (status, uptime, goroutines)
 //	/runs                JSON snapshot of in-flight + recent runs
+//	                     (?phase=running|done|cancelled filters, ?limit=N caps)
 //	/runs/{id}           one run's detail incl. its iteration series tail
 //	/runs/{id}/events    SSE live event stream (?types=a,b filters kinds)
+//	/runs/{id}/dump      POST: capture a postmortem bundle (?reason=... tags it)
 //
-// runs and bus are optional: with a nil RunRegistry the /runs endpoints
-// answer 404, with a nil Bus the SSE endpoint answers 503. The handler
-// uses its own mux, so mounting it does not disturb the process default
-// mux (importing net/http/pprof also registers on http.DefaultServeMux;
+// runs, bus and dumper are optional: with a nil RunRegistry the /runs
+// endpoints answer 404, with a nil Bus the SSE endpoint answers 503,
+// and with a nil Dumper the dump endpoint answers 503. The handler uses
+// its own mux, so mounting it does not disturb the process default mux
+// (importing net/http/pprof also registers on http.DefaultServeMux;
 // commands using Handler never serve that mux).
-func Handler(r *Registry, runs *RunRegistry, bus *Bus) http.Handler {
+func Handler(r *Registry, runs *RunRegistry, bus *Bus, dumper Dumper) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -57,7 +69,32 @@ func Handler(r *Registry, runs *RunRegistry, bus *Bus) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		writeJSON(w, map[string]any{"runs": runs.Runs()})
+		list := runs.Runs()
+		q := req.URL.Query()
+		if phase := q.Get("phase"); phase != "" {
+			if phase != PhaseRunning && phase != PhaseDone && phase != PhaseCancelled {
+				http.Error(w, fmt.Sprintf("unknown phase %q", phase), http.StatusBadRequest)
+				return
+			}
+			kept := list[:0]
+			for _, st := range list {
+				if st.Phase == phase {
+					kept = append(kept, st)
+				}
+			}
+			list = kept
+		}
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", ls), http.StatusBadRequest)
+				return
+			}
+			if n < len(list) {
+				list = list[:n]
+			}
+		}
+		writeJSON(w, map[string]any{"runs": list})
 	})
 	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, req *http.Request) {
 		if runs == nil {
@@ -77,6 +114,29 @@ func Handler(r *Registry, runs *RunRegistry, bus *Bus) http.Handler {
 			return
 		}
 		serveSSE(w, req, bus)
+	})
+	mux.HandleFunc("POST /runs/{id}/dump", func(w http.ResponseWriter, req *http.Request) {
+		if dumper == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		id := req.PathValue("id")
+		if runs != nil {
+			if _, _, ok := runs.Run(id); !ok {
+				http.NotFound(w, req)
+				return
+			}
+		}
+		reason := req.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "dump"
+		}
+		dir, err := dumper.Capture(id, reason)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"run": id, "bundle": dir})
 	})
 	return mux
 }
@@ -164,14 +224,37 @@ type Server struct {
 	// http.Server.Shutdown would wait on them forever; cancelling first
 	// lets the streams end and Shutdown complete promptly.
 	stopConns context.CancelFunc
+	// stopSampler stops the runtime sampler Serve started and removes
+	// its gauges from the registry; bus is unregistered alongside it so
+	// a Serve/Shutdown cycle leaves the registry as it found it.
+	stopSampler func()
+	bus         *Bus
+}
+
+// release undoes the registry side effects of Serve: the runtime
+// sampler's gauges and the bus counters come back out, so repeated
+// Serve/Shutdown cycles don't accumulate or double-publish metrics.
+// Idempotent (the sampler stop is once-guarded, metric removal is
+// deletion by name).
+func (s *Server) release() {
+	if s.stopSampler != nil {
+		s.stopSampler()
+	}
+	if s.bus != nil {
+		s.bus.Unregister()
+	}
 }
 
 // Serve starts the observability endpoint on addr (e.g. ":6060" or
 // "127.0.0.1:0") in a background goroutine, publishing the registry to
-// expvar under "lsopc". runs and bus are optional (see Handler). A
+// expvar under "lsopc" and starting a runtime sampler that feeds the
+// registry's runtime.* gauges for as long as the server runs. runs, bus
+// and dumper are optional (see Handler). Shutdown/Close stop the
+// sampler and unregister its gauges (and the bus counters, when a bus
+// was passed), so Serve/Shutdown cycles leave the registry clean. A
 // serve failure after startup is logged to stderr and retrievable via
 // Err/Shutdown.
-func Serve(addr string, r *Registry, runs *RunRegistry, bus *Bus) (*Server, error) {
+func Serve(addr string, r *Registry, runs *RunRegistry, bus *Bus, dumper Dumper) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -180,12 +263,14 @@ func Serve(addr string, r *Registry, runs *RunRegistry, bus *Bus) (*Server, erro
 	connCtx, stopConns := context.WithCancel(context.Background())
 	s := &Server{
 		srv: &http.Server{
-			Handler:     Handler(r, runs, bus),
+			Handler:     Handler(r, runs, bus, dumper),
 			BaseContext: func(net.Listener) context.Context { return connCtx },
 		},
-		addr:      ln.Addr().String(),
-		done:      make(chan struct{}),
-		stopConns: stopConns,
+		addr:        ln.Addr().String(),
+		done:        make(chan struct{}),
+		stopConns:   stopConns,
+		stopSampler: StartRuntimeSampler(r, 5*time.Second),
+		bus:         bus,
 	}
 	go func() {
 		defer close(s.done)
@@ -218,6 +303,7 @@ func (s *Server) Err() error {
 // shutdown error or a non-orderly serve error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopConns()
+	s.release()
 	err := s.srv.Shutdown(ctx)
 	select {
 	case <-s.done:
@@ -235,6 +321,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close stops the server immediately, dropping in-flight requests.
 func (s *Server) Close() error {
 	s.stopConns()
+	s.release()
 	err := s.srv.Close()
 	<-s.done
 	if err != nil {

@@ -84,6 +84,10 @@ const (
 	// the same boundary: N carries the number of serialized state
 	// fields.
 	EventCheckpoint = "checkpoint"
+	// EventCapture records the flight recorder writing a postmortem
+	// bundle for a run: Msg carries the trigger reason, Name the bundle
+	// directory, and N the number of files it contains.
+	EventCapture = "capture"
 )
 
 // Event is one structured trace record. It is a flat union of the
@@ -275,6 +279,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s %s iter=%d %s", e.Type, e.Trace, e.Name, e.Iter, e.Msg)
 	case EventCheckpoint:
 		return fmt.Sprintf("%s %s %s iter=%d fields=%d", e.Type, e.Trace, e.Name, e.Iter, e.N)
+	case EventCapture:
+		return fmt.Sprintf("%s %s reason=%s bundle=%s files=%d", e.Type, e.Trace, e.Msg, e.Name, e.N)
 	default:
 		return fmt.Sprintf("%s %s %s", e.Type, e.Trace, e.Msg)
 	}

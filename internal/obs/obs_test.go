@@ -260,7 +260,7 @@ func TestFlushHelper(t *testing.T) {
 func TestHTTPHandlerServesMetricsAndPprof(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("requests").Add(3)
-	srv, err := Serve("127.0.0.1:0", r, nil, nil)
+	srv, err := Serve("127.0.0.1:0", r, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

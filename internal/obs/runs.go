@@ -82,12 +82,15 @@ type RunState struct {
 	UpdatedNS int64 `json:"updated_ns,omitempty"`
 	DurNS     int64 `json:"dur_ns,omitempty"` // optimize span wall time once finished
 
-	Health        RunHealth     `json:"health"`
-	Cancelled     bool          `json:"cancelled,omitempty"`
-	CancelledIter int           `json:"cancelled_iter,omitempty"`
-	Checkpoints   int           `json:"checkpoints,omitempty"`
-	Tiles         *TileProgress `json:"tiles,omitempty"`
-	Children      []string      `json:"children,omitempty"`
+	Health        RunHealth `json:"health"`
+	Cancelled     bool      `json:"cancelled,omitempty"`
+	CancelledIter int       `json:"cancelled_iter,omitempty"`
+	Checkpoints   int       `json:"checkpoints,omitempty"`
+	// Captures counts the postmortem bundles the flight recorder wrote
+	// for this run (capture events).
+	Captures int           `json:"captures,omitempty"`
+	Tiles    *TileProgress `json:"tiles,omitempty"`
+	Children []string      `json:"children,omitempty"`
 }
 
 // MarshalJSON makes the cost/slope fields non-finite-safe; everything
@@ -290,6 +293,8 @@ func (rr *RunRegistry) Emit(e Event) {
 		rr.finish(r, PhaseCancelled)
 	case EventCheckpoint:
 		r.st.Checkpoints++
+	case EventCapture:
+		r.st.Captures++
 	case EventTileStart:
 		t := r.tiles()
 		t.Started++

@@ -208,7 +208,7 @@ func liveHandler(t *testing.T) (http.Handler, *RunRegistry, *Bus) {
 	reg := NewRegistry()
 	rr := NewRunRegistry(reg)
 	bus := NewBus(reg)
-	return Handler(reg, rr, bus), rr, bus
+	return Handler(reg, rr, bus, nil), rr, bus
 }
 
 func TestHTTPRunsEndpoints(t *testing.T) {
@@ -253,7 +253,7 @@ func TestHTTPRunsEndpoints(t *testing.T) {
 
 func TestHTTPRunsDisabled(t *testing.T) {
 	reg := NewRegistry()
-	srv := httptest.NewServer(Handler(reg, nil, nil))
+	srv := httptest.NewServer(Handler(reg, nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/runs")
 	if err != nil {
@@ -355,7 +355,7 @@ func TestServerShutdownClosesSSE(t *testing.T) {
 	reg := NewRegistry()
 	rr := NewRunRegistry(reg)
 	bus := NewBus(reg)
-	srv, err := Serve("127.0.0.1:0", reg, rr, bus)
+	srv, err := Serve("127.0.0.1:0", reg, rr, bus, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,48 @@ import (
 	"time"
 )
 
+// runtimeGaugeNames are the gauges StartRuntimeSampler publishes; stop
+// removes exactly this set so repeated sampler lifecycles in one
+// process do not leak registry entries.
+var runtimeGaugeNames = []string{
+	"runtime.goroutines",
+	"runtime.heap_alloc",
+	"runtime.heap_sys",
+	"runtime.heap_objects",
+	"runtime.gc_num",
+	"runtime.gc_pause_total_ns",
+}
+
+// RuntimeStats is one point-in-time sample of Go runtime health — the
+// same figures the sampler publishes as gauges, in struct form for
+// consumers (the flight recorder) that keep their own history.
+type RuntimeStats struct {
+	TimeNS         int64  `json:"time_ns"`
+	Goroutines     int    `json:"goroutines"`
+	HeapAlloc      uint64 `json:"heap_alloc"`
+	HeapSys        uint64 `json:"heap_sys"`
+	HeapObjects    uint64 `json:"heap_objects"`
+	GCNum          uint32 `json:"gc_num"`
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+}
+
+// SampleRuntime reads the current runtime statistics. It calls
+// runtime.ReadMemStats, which briefly stops the world — suitable for
+// periodic sampling, not per-iteration paths.
+func SampleRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		TimeNS:         time.Now().UnixNano(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAlloc:      ms.HeapAlloc,
+		HeapSys:        ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		GCNum:          ms.NumGC,
+		GCPauseTotalNS: ms.PauseTotalNs,
+	}
+}
+
 // StartRuntimeSampler periodically samples Go runtime health into reg
 // (nil means the Default registry) under the runtime.* gauges:
 //
@@ -19,7 +61,9 @@ import (
 // Together with the always-on pool/plan-cache gauges this gives the
 // /metrics and /runs consumers a process-health feed during long runs.
 // It samples once immediately, then every interval (≤ 0 selects 5s).
-// The returned stop function halts the sampler and is idempotent.
+// The returned stop function halts the sampler, unregisters the
+// runtime.* gauges from reg (so Serve/Shutdown cycles don't leak or
+// keep exporting stale values), and is idempotent.
 func StartRuntimeSampler(reg *Registry, every time.Duration) (stop func()) {
 	if reg == nil {
 		reg = Default
@@ -35,14 +79,13 @@ func StartRuntimeSampler(reg *Registry, every time.Duration) (stop func()) {
 	gcPause := reg.Gauge("runtime.gc_pause_total_ns")
 
 	sample := func() {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		goroutines.Set(int64(runtime.NumGoroutine()))
-		heapAlloc.Set(int64(ms.HeapAlloc))
-		heapSys.Set(int64(ms.HeapSys))
-		heapObjects.Set(int64(ms.HeapObjects))
-		gcNum.Set(int64(ms.NumGC))
-		gcPause.Set(int64(ms.PauseTotalNs))
+		st := SampleRuntime()
+		goroutines.Set(int64(st.Goroutines))
+		heapAlloc.Set(int64(st.HeapAlloc))
+		heapSys.Set(int64(st.HeapSys))
+		heapObjects.Set(int64(st.HeapObjects))
+		gcNum.Set(int64(st.GCNum))
+		gcPause.Set(int64(st.GCPauseTotalNS))
 	}
 	sample()
 
@@ -60,5 +103,12 @@ func StartRuntimeSampler(reg *Registry, every time.Duration) (stop func()) {
 			}
 		}
 	}()
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		once.Do(func() {
+			close(done)
+			for _, name := range runtimeGaugeNames {
+				reg.Remove(name)
+			}
+		})
+	}
 }

@@ -33,11 +33,12 @@ func runSchedule(ctx context.Context, sim *litho.Simulator, target *grid.Field, 
 		return nil, err
 	}
 	total := &Result{
-		Iterations:  out.Iterations,
-		Aborted:     out.Aborted,
-		AbortReason: out.AbortReason,
-		History:     historyFromSolve(out.History),
-		CornerSims:  out.Evals,
+		Iterations:      out.Iterations,
+		Aborted:         out.Aborted,
+		AbortReason:     out.AbortReason,
+		AbortCheckpoint: out.AbortCheckpoint,
+		History:         historyFromSolve(out.History),
+		CornerSims:      out.Evals,
 	}
 	if prog.res != nil {
 		// The full-resolution level ran: its assembly (binarisation,

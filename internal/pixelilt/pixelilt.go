@@ -174,8 +174,11 @@ type Result struct {
 	// AbortReason carries the obs.Health* reason code.
 	Aborted     bool
 	AbortReason string
-	History     []IterStats
-	CornerSims  int // total forward+adjoint corner evaluations (runtime proxy)
+	// AbortCheckpoint is the solver state at the aborted iteration
+	// boundary (nil unless Aborted), resumable via Resume.
+	AbortCheckpoint *solve.Checkpoint
+	History         []IterStats
+	CornerSims      int // total forward+adjoint corner evaluations (runtime proxy)
 }
 
 // cornerPlan returns the corners to simulate at iteration i and their
@@ -446,13 +449,14 @@ func (s *stepper) finish(out *solve.Outcome) *Result {
 		metrics.RemoveTinyFeatures(bin, s.opts.CleanupTinyPx, s.opts.CleanupTinyPx)
 	}
 	return &Result{
-		Mask:        bin,
-		Gray:        gray,
-		Iterations:  out.Iterations,
-		Aborted:     out.Aborted,
-		AbortReason: out.AbortReason,
-		History:     historyFromSolve(out.History),
-		CornerSims:  out.Evals,
+		Mask:            bin,
+		Gray:            gray,
+		Iterations:      out.Iterations,
+		Aborted:         out.Aborted,
+		AbortReason:     out.AbortReason,
+		AbortCheckpoint: out.AbortCheckpoint,
+		History:         historyFromSolve(out.History),
+		CornerSims:      out.Evals,
 	}
 }
 

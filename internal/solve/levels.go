@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"lsopc/internal/grid"
@@ -127,7 +129,7 @@ func RunLevels(ctx context.Context, sim *litho.Simulator, target *grid.Field, sc
 				return nil, err
 			}
 		}
-		out, err := drv.Run(ctx)
+		out, err := runLevel(ctx, drv, lsim.GridSize())
 		if err != nil {
 			// Annotate the level checkpoint with the schedule position
 			// so resume can rebuild the surrounding levels.
@@ -143,6 +145,14 @@ func RunLevels(ctx context.Context, sim *litho.Simulator, target *grid.Field, sc
 				csim.Release()
 			}
 			return nil, err
+		}
+		if out.AbortCheckpoint != nil {
+			// Same schedule-position annotation for watchdog aborts, so
+			// the postmortem checkpoint resumes through RunLevels too.
+			out.AbortCheckpoint.Factor = f
+			out.AbortCheckpoint.Done = append([]IterStats(nil), total.History...)
+			out.AbortCheckpoint.DoneIters = globalIter
+			out.AbortCheckpoint.DoneEvals = total.Evals
 		}
 		finish(out)
 		cleanup()
@@ -160,6 +170,7 @@ func RunLevels(ctx context.Context, sim *litho.Simulator, target *grid.Field, sc
 			total.Converged = out.Converged
 			total.Aborted = out.Aborted
 			total.AbortReason = out.AbortReason
+			total.AbortCheckpoint = out.AbortCheckpoint
 			total.Snapshots = out.Snapshots
 			total.BestCost = out.BestCost
 			total.State = out.State
@@ -171,6 +182,7 @@ func RunLevels(ctx context.Context, sim *litho.Simulator, target *grid.Field, sc
 			// so the result shape matches the caller's grid.
 			total.Aborted = true
 			total.AbortReason = out.AbortReason
+			total.AbortCheckpoint = out.AbortCheckpoint
 			st := out.State
 			for lift := f; lift > 1; lift /= 2 {
 				st = prog.Upsample(st)
@@ -196,4 +208,14 @@ func RunLevels(ctx context.Context, sim *litho.Simulator, target *grid.Field, sc
 		}
 	}
 	return total, nil
+}
+
+// runLevel executes one level's driver under a `level` pprof label (the
+// level's grid edge), composing with the run_id/phase labels Driver.Run
+// applies, so CPU profiles of a coarse-to-fine run slice per level.
+func runLevel(ctx context.Context, drv *Driver, gridN int) (out *Outcome, err error) {
+	pprof.Do(ctx, pprof.Labels("level", strconv.Itoa(gridN)), func(ctx context.Context) {
+		out, err = drv.Run(ctx)
+	})
+	return out, err
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"lsopc/internal/grid"
@@ -159,6 +160,11 @@ type Outcome struct {
 	History   []IterStats
 	Snapshots []Snapshot
 	State     *grid.Field
+	// AbortCheckpoint is captured at the iteration boundary a watchdog
+	// abort stopped the run on, so a poisoned run can be resumed (e.g.
+	// under a different policy) or bisected postmortem. nil unless
+	// Aborted.
+	AbortCheckpoint *Checkpoint
 }
 
 // Driver executes the shared iteration loop over a Stepper. One Driver
@@ -278,6 +284,10 @@ func (d *Driver) Step() (stop bool) {
 		if v := d.wd.Observe(gi, st.Cost, gradNorm, dt); v.Abort {
 			d.out.Aborted = true
 			d.out.AbortReason = v.Reason
+			// Capture the poisoned state at this exact boundary: the
+			// postmortem path (flight recorder bundles) persists it so the
+			// aborted run stays resumable for bisection.
+			d.out.AbortCheckpoint = d.Checkpoint()
 			return true
 		}
 	}
@@ -297,16 +307,29 @@ func (d *Driver) Step() (stop bool) {
 // Cancellation is checked at each iteration boundary; when it fires,
 // Run captures a Checkpoint at that exact boundary and returns a
 // *Cancelled error that unwraps to the context's error.
-func (d *Driver) Run(ctx context.Context) (*Outcome, error) {
-	for d.i < d.cfg.MaxIter {
-		if err := ctx.Err(); err != nil {
-			return nil, d.cancelled(err)
+//
+// The loop runs under pprof labels (run_id = Config.Trace, phase =
+// Config.Method) so CPU profiles — live /debug/pprof pulls and the
+// flight recorder's captured slices — attribute samples to the job.
+// Goroutine labels inherit into goroutines spawned inside the region,
+// which covers the engine's per-call corner/chunk workers. The labels
+// are applied once per Run, not per Step, keeping the steady-state
+// iteration allocation-free.
+func (d *Driver) Run(ctx context.Context) (out *Outcome, err error) {
+	labels := pprof.Labels("run_id", d.cfg.Trace, "phase", d.cfg.Method)
+	pprof.Do(ctx, labels, func(ctx context.Context) {
+		for d.i < d.cfg.MaxIter {
+			if cerr := ctx.Err(); cerr != nil {
+				err = d.cancelled(cerr)
+				return
+			}
+			if d.Step() {
+				break
+			}
 		}
-		if d.Step() {
-			break
-		}
-	}
-	return d.finish(), nil
+		out = d.finish()
+	})
+	return out, err
 }
 
 // finish seals the outcome with the final state clone.

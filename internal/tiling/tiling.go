@@ -20,6 +20,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"lsopc/internal/litho"
 	"lsopc/internal/obs"
 	"lsopc/internal/rt"
+	"lsopc/internal/solve"
 )
 
 // Tile is one window of the decomposition: Core is the chip region this
@@ -143,6 +146,11 @@ type Options struct {
 	// whose optimizer aborts fails the whole tiled run with a
 	// *TileAbortError and cancels the remaining tiles.
 	Health *obs.HealthPolicy
+	// PoisonTile, when > 0, NaN-poisons one pixel of that tile's
+	// rasterised target (1-based ordinal) before optimization — fault
+	// injection for exercising the watchdog-abort and postmortem-capture
+	// path from the CLI and CI without a genuinely broken layout.
+	PoisonTile int
 }
 
 // TileStat is the per-tile outcome of a tiled run.
@@ -171,10 +179,20 @@ type Result struct {
 }
 
 // TileAbortError reports a tile whose optimizer the health watchdog
-// aborted; it fails the whole tiled run.
+// aborted; it fails the whole tiled run. It carries enough context for
+// a postmortem: the tile's run id and chip window, and the solver
+// checkpoint at the aborted boundary (re-rasterize the window's clip to
+// rebuild the tile target and resume for bisection).
 type TileAbortError struct {
 	Tile   int    // tile index (0-based)
 	Reason string // obs.Health* reason code
+	// Trace is the tile run's id ("<job>.t<n>").
+	Trace string
+	// Window is the tile's simulation window in chip nm coordinates.
+	Window geom.Rect
+	// Checkpoint is the aborted tile optimizer's resumable state (nil
+	// when the abort predates checkpoint capture).
+	Checkpoint *solve.Checkpoint
 }
 
 // Error implements error.
@@ -410,28 +428,34 @@ func (r *runner) runPass(ctx context.Context, pass int, tiles []int, chipPsi *gr
 		wg.Add(1)
 		go func(sub *engine.Engine) {
 			defer wg.Done()
-			sim, err := litho.NewSession(r.res, r.cfg, sub)
-			if err != nil {
-				r.fail(err)
-				for range idx {
-				}
-				return
-			}
-			defer sim.Release()
-			for ti := range idx {
-				// Drain the queue even once failed or cancelled so the
-				// feeder below never blocks.
-				if r.aborted.Load() {
-					continue
-				}
-				if err := ctx.Err(); err != nil {
+			// Label the worker goroutine with the owning job so CPU
+			// profiles attribute tile work to the tiled run; per-tile
+			// run_id/phase labels are layered on inside runTile. Labels
+			// inherit into the engine goroutines the tile optimizer spawns.
+			pprof.Do(ctx, pprof.Labels("job", r.opts.TraceID), func(ctx context.Context) {
+				sim, err := litho.NewSession(r.res, r.cfg, sub)
+				if err != nil {
 					r.fail(err)
-					continue
+					for range idx {
+					}
+					return
 				}
-				if err := r.runTile(ctx, sim, ti, pass, chipPsi); err != nil {
-					r.fail(err)
+				defer sim.Release()
+				for ti := range idx {
+					// Drain the queue even once failed or cancelled so the
+					// feeder below never blocks.
+					if r.aborted.Load() {
+						continue
+					}
+					if err := ctx.Err(); err != nil {
+						r.fail(err)
+						continue
+					}
+					if err := r.runTileLabeled(ctx, sim, ti, pass, chipPsi); err != nil {
+						r.fail(err)
+					}
 				}
-			}
+			})
 		}(r.subs[w])
 	}
 	for _, ti := range tiles {
@@ -442,6 +466,15 @@ func (r *runner) runPass(ctx context.Context, pass int, tiles []int, chipPsi *gr
 	r.mu.Lock()
 	err := r.failure
 	r.mu.Unlock()
+	return err
+}
+
+// runTileLabeled runs one tile under a `tile` pprof label (1-based
+// ordinal, matching the trace events).
+func (r *runner) runTileLabeled(ctx context.Context, sim *litho.Simulator, ti, pass int, chipPsi *grid.Field) (err error) {
+	pprof.Do(ctx, pprof.Labels("tile", strconv.Itoa(ti+1)), func(ctx context.Context) {
+		err = r.runTile(ctx, sim, ti, pass, chipPsi)
+	})
 	return err
 }
 
@@ -466,6 +499,9 @@ func (r *runner) runTile(ctx context.Context, sim *litho.Simulator, ti, pass int
 	}
 	if poisonTile != nil {
 		poisonTile(ti, target)
+	}
+	if r.opts.PoisonTile == ti+1 {
+		target.Data[len(target.Data)/2] = math.NaN()
 	}
 
 	topts := r.opts.Core
@@ -507,7 +543,12 @@ func (r *runner) runTile(ctx context.Context, sim *litho.Simulator, ti, pass int
 	r.stats[ti].Dur += dur
 	r.mu.Unlock()
 	if res.Aborted {
-		return &TileAbortError{Tile: ti, Reason: res.AbortReason}
+		return &TileAbortError{
+			Tile: ti, Reason: res.AbortReason,
+			Trace:      topts.TraceID,
+			Window:     t.Window,
+			Checkpoint: res.AbortCheckpoint,
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package lsopc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"lsopc/internal/litho"
 	"lsopc/internal/metrics"
 	"lsopc/internal/obs"
+	"lsopc/internal/obs/recorder"
 	"lsopc/internal/pixelilt"
 	"lsopc/internal/procwin"
 	"lsopc/internal/rt"
@@ -121,6 +123,9 @@ const (
 	EventCancelled = obs.EventCancelled
 	// EventCheckpoint marks a resumable checkpoint being captured.
 	EventCheckpoint = obs.EventCheckpoint
+	// EventCapture marks the flight recorder writing a postmortem
+	// bundle (Msg = trigger reason, Name = bundle directory).
+	EventCapture = obs.EventCapture
 )
 
 // WriteCheckpoint serialises a checkpoint to w (gob encoding).
@@ -167,10 +172,10 @@ func MetricsSnapshot() map[string]float64 { return obs.Default.Snapshot() }
 // ServeMetrics starts the observability HTTP endpoint on addr
 // (/metrics, /debug/vars, /debug/pprof/*, /healthz) over the default
 // registry and returns a handle exposing the bound address and a
-// graceful Shutdown. For the live run endpoints (/runs, SSE) use
+// graceful Shutdown. For the live run endpoints (/runs, SSE, dump) use
 // ServeLive instead. See DESIGN.md §9 and §13.
 func ServeMetrics(addr string) (*ObsServer, error) {
-	return obs.Serve(addr, obs.Default, nil, nil)
+	return obs.Serve(addr, obs.Default, nil, nil, nil)
 }
 
 // SetRuntimeTrace installs a process-wide sink for events that have no
@@ -290,6 +295,7 @@ type Pipeline struct {
 	// the shared sink stay distinguishable.
 	sink     obs.Sink
 	health   *obs.HealthPolicy
+	flight   *recorder.Recorder
 	traceSeq atomic.Int64
 
 	mu   sync.Mutex
@@ -316,6 +322,26 @@ func WithTraceSink(s TraceSink) PipelineOption {
 // Aborted/AbortReason in its result.
 func WithHealthPolicy(hp HealthPolicy) PipelineOption {
 	return func(p *Pipeline) { p.health = &hp }
+}
+
+// WithFlightRecorder attaches a flight recorder to the pipeline: every
+// watchdog abort (NaN/Inf, stall, divergence — monolithic, multi-res or
+// tiled) and every context cancellation triggers a postmortem bundle
+// capture, including the run's resumable checkpoint when one exists.
+// Captures are once-per-run; failures to capture degrade to a progress
+// trace event rather than failing the run. The recorder only captures —
+// to also fill its per-run event rings (the bundle's event tail), tee
+// it into the pipeline's trace sink:
+//
+//	rec := lsopc.NewFlightRecorder(lsopc.FlightRecorderConfig{Dir: "flight"})
+//	pipe, _ := lsopc.NewPipeline(preset, eng,
+//	    lsopc.WithTraceSink(lsopc.TeeTraceSink(fileSink, rec)),
+//	    lsopc.WithFlightRecorder(rec))
+//
+// (ServeLive's Sink() already includes its recorder, so pipelines fed
+// from a live server with WithFlightDir just pass live.Recorder() here.)
+func WithFlightRecorder(rec *FlightRecorder) PipelineOption {
+	return func(p *Pipeline) { p.flight = rec }
 }
 
 // WithPrecision sets the pipeline's default forward-model precision:
@@ -389,6 +415,26 @@ func NewCustomPipeline(gridSize int, pixelNM float64, kernels int, eng *Engine, 
 
 // TraceSink returns the sink attached with WithTraceSink, or nil.
 func (p *Pipeline) TraceSink() TraceSink { return p.sink }
+
+// FlightRecorder returns the recorder attached with WithFlightRecorder,
+// or nil.
+func (p *Pipeline) FlightRecorder() *FlightRecorder { return p.flight }
+
+// captureAnomaly hands an abort or cancellation to the attached flight
+// recorder. A capture failure must not fail the (already troubled) run,
+// so it degrades to a progress trace event.
+func (p *Pipeline) captureAnomaly(a BundleAnomaly) {
+	if p.flight == nil || a.RunID == "" {
+		return
+	}
+	if _, err := p.flight.CaptureAnomaly(a); err != nil && p.sink != nil {
+		p.sink.Emit(obs.Event{
+			Type:  obs.EventProgress,
+			Trace: a.RunID,
+			Msg:   fmt.Sprintf("flight recorder: %v", err),
+		})
+	}
+}
 
 // Preset returns the pipeline's preset.
 func (p *Pipeline) Preset() Preset { return p.preset }
@@ -720,7 +766,18 @@ func (s *Session) optimizeLevelSet(ctx context.Context, l *Layout, opts LevelSet
 		res, err = core.RunMultiResolution(ctx, s.sim, target, opts)
 	}
 	if err != nil {
+		var cerr *CancelledError
+		if errors.As(err, &cerr) {
+			s.p.captureAnomaly(BundleAnomaly{
+				RunID: opts.TraceID, Reason: "cancelled", Checkpoint: cerr.Checkpoint,
+			})
+		}
 		return nil, err
+	}
+	if res.Aborted {
+		s.p.captureAnomaly(BundleAnomaly{
+			RunID: opts.TraceID, Reason: res.AbortReason, Checkpoint: res.AbortCheckpoint,
+		})
 	}
 	elapsed := time.Since(start)
 	s.traceSpan("optimize.levelset", start)
@@ -768,6 +825,22 @@ func (p *Pipeline) OptimizeTiledContext(ctx context.Context, l *Layout, opts Til
 	start := time.Now()
 	res, err := tiling.Optimize(ctx, p.res, p.cfg, p.eng, l, opts)
 	if err != nil {
+		var terr *TileAbortError
+		var cerr *CancelledError
+		switch {
+		case errors.As(err, &terr):
+			p.captureAnomaly(BundleAnomaly{
+				RunID:      terr.Trace,
+				Reason:     terr.Reason,
+				Tile:       terr.Tile + 1,
+				Window:     fmt.Sprintf("%d,%d-%d,%d", terr.Window.X0, terr.Window.Y0, terr.Window.X1, terr.Window.Y1),
+				Checkpoint: terr.Checkpoint,
+			})
+		case errors.As(err, &cerr):
+			p.captureAnomaly(BundleAnomaly{
+				RunID: opts.TraceID, Reason: "cancelled", Checkpoint: cerr.Checkpoint,
+			})
+		}
 		return nil, err
 	}
 	if opts.Sink != nil {
@@ -848,7 +921,18 @@ func (s *Session) optimizeBaseline(ctx context.Context, l *Layout, opts pixelilt
 		res, err = pixelilt.Optimize(ctx, s.sim, target, opts)
 	}
 	if err != nil {
+		var cerr *CancelledError
+		if errors.As(err, &cerr) {
+			s.p.captureAnomaly(BundleAnomaly{
+				RunID: opts.TraceID, Reason: "cancelled", Checkpoint: cerr.Checkpoint,
+			})
+		}
 		return nil, err
+	}
+	if res.Aborted {
+		s.p.captureAnomaly(BundleAnomaly{
+			RunID: opts.TraceID, Reason: res.AbortReason, Checkpoint: res.AbortCheckpoint,
+		})
 	}
 	elapsed := time.Since(start)
 	s.traceSpan("optimize."+opts.Variant.String(), start)
